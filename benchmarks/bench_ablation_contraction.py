@@ -1,0 +1,111 @@
+"""E12 — Ablations on the skeleton's design choices.
+
+(a) Contraction: Section 2 contracts clusterings between rounds to keep
+    the size linear; "compounded contraction has a price in terms of
+    distortion" (the 2^{log* n} factor).  We compare the full schedule
+    with a single-round no-contraction variant at matched expand-call
+    counts: without contraction the spanner is denser.
+
+(b) Schedule: the Theorem 2 density-triggered schedule vs the Sect. 2
+    exact-form schedule — both valid, similar size, different call
+    counts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core import build_skeleton
+from repro.core.schedule import Round
+from repro.graphs import erdos_renyi_gnp
+from repro.spanner import verify_connectivity
+
+SEEDS = (1, 2, 3, 4)
+
+
+def _mean(graph, **kwargs):
+    sizes = []
+    stretches = []
+    for s in SEEDS:
+        sp = build_skeleton(graph, seed=s, **kwargs)
+        sizes.append(sp.size)
+        stretches.append(
+            sp.stretch(num_sources=15, seed=0).max_multiplicative
+        )
+    return sum(sizes) / len(sizes), sum(stretches) / len(stretches)
+
+
+def test_contraction_ablation(benchmark, report):
+    graph = erdos_renyi_gnp(700, 0.06, seed=21)
+
+    def run():
+        full_size, full_stretch = _mean(graph, D=4)
+        calls = build_skeleton(graph, D=4, seed=1).metadata["expand_calls"]
+        # No-contraction variant: one long round, same number of calls,
+        # same sampling probability as the first rounds.
+        flat = [Round(p=0.25, iterations=calls - 1, final_zero=True)]
+        flat_size, flat_stretch = _mean(graph, D=4, schedule=flat)
+        return full_size, full_stretch, flat_size, flat_stretch, calls
+
+    full_size, full_stretch, flat_size, flat_stretch, calls = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    rows = [
+        ("with contraction (Thm 2)", round(full_size, 1),
+         round(full_stretch, 2)),
+        (f"no contraction ({calls} calls, p=1/4)", round(flat_size, 1),
+         round(flat_stretch, 2)),
+    ]
+    report(
+        "E12a / contraction ablation",
+        format_table(
+            ["variant", "mean size", "mean max stretch"],
+            rows,
+            title="Contraction buys linear size at a distortion price",
+        ),
+    )
+    # Without contraction the size inflates (clusters never merge, so
+    # every round pays join/death edges against the same population).
+    assert flat_size > full_size
+    # The contraction penalty: the contracted variant may be *worse* in
+    # stretch — that is the 2^{log* n} price; it must not be better by
+    # a large factor.
+    assert full_stretch >= 0.5 * flat_stretch
+
+
+def test_schedule_ablation(benchmark, report):
+    graph = erdos_renyi_gnp(800, 0.05, seed=22)
+
+    def run():
+        thm2_size, thm2_stretch = _mean(graph, D=4, exact_form=False)
+        exact_size, exact_stretch = _mean(graph, D=4, exact_form=True)
+        thm2_calls = build_skeleton(
+            graph, D=4, seed=1, exact_form=False
+        ).metadata["expand_calls"]
+        exact_calls = build_skeleton(
+            graph, D=4, seed=1, exact_form=True
+        ).metadata["expand_calls"]
+        return (thm2_size, thm2_stretch, thm2_calls,
+                exact_size, exact_stretch, exact_calls)
+
+    (t_size, t_stretch, t_calls, e_size, e_stretch, e_calls) = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    rows = [
+        ("Theorem 2 (density-triggered)", round(t_size, 1),
+         round(t_stretch, 2), t_calls),
+        ("Sect. 2 exact-form", round(e_size, 1), round(e_stretch, 2),
+         e_calls),
+    ]
+    report(
+        "E12b / schedule ablation",
+        format_table(
+            ["schedule", "mean size", "mean max stretch", "expand calls"],
+            rows,
+            title="Both schedules give linear size",
+        ),
+    )
+    # Both stay in the same size regime.
+    assert 0.5 < t_size / e_size < 2.0
+    for sched in (False, True):
+        sp = build_skeleton(graph, D=4, seed=9, exact_form=sched)
+        assert verify_connectivity(graph, sp.subgraph())

@@ -1,0 +1,94 @@
+"""E11 — Baswana–Sen size/stretch trade and the corrected size bound.
+
+Sweeps k and measures spanner size against the paper's corrected bound
+O(k n + log k * n^{1+1/k}).  Shape checks: the (2k-1) guarantee holds
+exactly; size decreases as k grows (until the k n term takes over); the
+distributed protocol matches the sequential sizes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import format_table
+from repro.baselines import baswana_sen_spanner
+from repro.distributed import distributed_baswana_sen
+from repro.graphs import erdos_renyi_gnp
+from repro.spanner import verify_spanner_guarantee
+
+N = 900
+SEEDS = (1, 2, 3)
+
+
+def test_baswana_sen_k_sweep(benchmark, report):
+    graph = erdos_renyi_gnp(N, 0.08, seed=11)
+
+    def sweep():
+        rows = []
+        for k in (2, 3, 4, 5):
+            sizes = [
+                baswana_sen_spanner(graph, k, seed=s).size for s in SEEDS
+            ]
+            mean = sum(sizes) / len(sizes)
+            corrected = (
+                k * N + math.log(k) * N ** (1 + 1 / k) + N ** (1 + 1 / k)
+            )
+            sp = baswana_sen_spanner(graph, k, seed=99)
+            ok, _ = verify_spanner_guarantee(
+                graph, sp.subgraph(), alpha=2 * k - 1,
+                num_sources=25, seed=1
+            )
+            rows.append(
+                (k, 2 * k - 1, round(mean, 1), round(mean / N, 2),
+                 round(corrected), ok)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E11 / Baswana-Sen size vs k (corrected bound)",
+        format_table(
+            ["k", "stretch 2k-1", "mean size", "size/n",
+             "kn + log k n^(1+1/k)", "guarantee holds"],
+            rows,
+            title=f"G(n={N}, m={graph.m})",
+        ),
+    )
+    for k, _, mean, _, bound, ok in rows:
+        assert ok
+        assert mean <= 2 * bound
+    sizes = [r[2] for r in rows]
+    assert sizes[0] > sizes[-1]  # sparser as k grows at this density
+
+
+def test_distributed_matches_sequential(benchmark, report):
+    graph = erdos_renyi_gnp(600, 0.06, seed=12)
+
+    def sweep():
+        rows = []
+        for k in (2, 3, 4):
+            seq = sum(
+                baswana_sen_spanner(graph, k, seed=s).size for s in SEEDS
+            ) / len(SEEDS)
+            dist_sp = distributed_baswana_sen(graph, k, seed=13)
+            st = dist_sp.metadata["network_stats"]
+            rows.append(
+                (k, round(seq, 1), dist_sp.size, st.rounds,
+                 st.max_message_words)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E11b / sequential vs distributed Baswana-Sen",
+        format_table(
+            ["k", "sequential mean size", "distributed size",
+             "rounds (2k+1 cap)", "max msg words"],
+            rows,
+            title="The protocol needs 2k rounds and 1-word messages",
+        ),
+    )
+    for k, seq, dist, rounds, width in rows:
+        assert 0.5 * seq < dist < 2.0 * seq
+        assert rounds <= 2 * k + 1
+        assert width == 1

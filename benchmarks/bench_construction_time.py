@@ -1,0 +1,83 @@
+"""E16 — sequential construction time (Sect. 2, closing remark).
+
+"It is very simple to construct our spanner sequentially in
+O(m log n / log log n) time."  We time the sequential builder over
+growing m (the only bench here that uses pytest-benchmark's timing for
+its scientific content) and check near-linear scaling in m: quadrupling
+m must cost well below quadratic blow-up x the log factor.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.tables import format_table
+from repro.core import build_skeleton
+from repro.graphs import erdos_renyi_gnp
+
+
+def _time_build(graph, repeats=3):
+    best = float("inf")
+    for s in range(repeats):
+        start = time.perf_counter()
+        build_skeleton(graph, D=4, seed=s)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_sequential_time_scales_with_m(benchmark, report):
+    sizes = [(500, 3000), (1000, 6000), (2000, 12000), (4000, 24000)]
+
+    def sweep():
+        rows = []
+        for n, m in sizes:
+            graph = erdos_renyi_gnp(n, 2 * m / (n * (n - 1)), seed=n)
+            seconds = _time_build(graph)
+            rows.append(
+                (n, graph.m, round(seconds * 1000, 1),
+                 round(seconds * 1e6 / max(1, graph.m), 2))
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E16 / sequential construction time",
+        format_table(
+            ["n", "m", "build time (ms)", "us per edge"],
+            rows,
+            title="O(m log n / log log n): near-constant cost per edge",
+        ),
+    )
+    per_edge = [r[3] for r in rows]
+    # Cost per edge stays within a small factor while m grows 8x —
+    # the log n / log log n drift is ~1.2x over this range.
+    assert max(per_edge) / min(per_edge) < 4
+
+
+def test_skeleton_cost_independent_of_density(benchmark, report):
+    # Same n, m growing 4x: time grows ~linearly in m, size stays O(n).
+    n = 1500
+
+    def sweep():
+        rows = []
+        for p in (0.004, 0.008, 0.016):
+            graph = erdos_renyi_gnp(n, p, seed=7)
+            seconds = _time_build(graph, repeats=2)
+            sp = build_skeleton(graph, D=4, seed=1)
+            rows.append(
+                (graph.m, round(seconds * 1000, 1), sp.size)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E16b / density sweep at fixed n",
+        format_table(
+            ["m", "build time (ms)", "spanner size"],
+            rows,
+            title=f"n={n}: time tracks m, output stays O(n)",
+        ),
+    )
+    sizes = [r[2] for r in rows]
+    # Output size is insensitive to input density (the O(n) guarantee).
+    assert max(sizes) / min(sizes) < 1.6

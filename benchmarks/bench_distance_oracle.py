@@ -1,0 +1,62 @@
+"""E14 — approximate distance oracles (conclusion, Sect. 5).
+
+The conclusion asks whether distance-oracle space/stretch trade-offs can
+match the best spanners'.  This bench measures the classical Thorup–Zwick
+baseline the question is posed against: space O(k n^{1+1/k}) vs stretch
+2k - 1, swept over k, with measured (not just guaranteed) stretch.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.applications import DistanceOracle
+from repro.graphs import bfs_distances, erdos_renyi_gnp
+
+N = 500
+
+
+def test_distance_oracle_space_stretch_trade(benchmark, report):
+    graph = erdos_renyi_gnp(N, 0.05, seed=14)
+
+    def sweep():
+        rows = []
+        for k in (1, 2, 3, 4):
+            oracle = DistanceOracle(graph, k=k, seed=k)
+            worst = 0.0
+            total = 0.0
+            pairs = 0
+            for source in (0, 100, 200, 300):
+                truth = bfs_distances(graph, source)
+                for v, d in truth.items():
+                    if v == source:
+                        continue
+                    est = oracle.query(source, v)
+                    worst = max(worst, est / d)
+                    total += est / d
+                    pairs += 1
+            rows.append(
+                (k, 2 * k - 1, oracle.size,
+                 round(oracle.size / N, 1),
+                 round(oracle.expected_size_bound() / N, 1),
+                 round(worst, 2), round(total / pairs, 3))
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E14 / Thorup-Zwick oracle: space vs stretch over k",
+        format_table(
+            ["k", "stretch bound", "entries", "entries/n",
+             "k n^(1/k) bound/n", "measured worst", "measured mean"],
+            rows,
+            title=f"G(n={N}, m={graph.m})",
+        ),
+    )
+    for k, bound, size, _, _, worst, mean in rows:
+        assert worst <= bound
+        assert mean <= worst
+    # Space falls monotonically with k; stretch bound rises: the trade.
+    sizes = [r[2] for r in rows]
+    assert sizes == sorted(sizes, reverse=True)
+    # k = 1 is the exact (full APSP) oracle.
+    assert rows[0][5] == 1.0

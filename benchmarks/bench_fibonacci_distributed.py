@@ -1,0 +1,86 @@
+"""E7 — Theorem 8 / Corollary 2: distributed Fibonacci construction.
+
+Theorem 8: with O(n^{1/t})-word messages the spanner is built in
+O(ell^{o+t}) rounds — limiting the message size costs extra order (and
+therefore rounds), never correctness.  We sweep t, report rounds /
+message widths / Las-Vegas fallbacks, and check the correctness and the
+round budget.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import format_table
+from repro.distributed import distributed_fibonacci_spanner
+from repro.graphs import grid_2d
+from repro.spanner import verify_connectivity
+
+
+def test_fibonacci_distributed_t_sweep(benchmark, report):
+    graph = grid_2d(25, 25)
+
+    def sweep():
+        rows = []
+        for t in (2, 3, 4):
+            sp = distributed_fibonacci_spanner(
+                graph, order=2, eps=1.0, t=t, seed=5
+            )
+            st = sp.metadata["network_stats"]
+            ok = verify_connectivity(graph, sp.subgraph())
+            rows.append(
+                (t, sp.metadata["message_cap"], sp.metadata["order"],
+                 st.rounds, st.max_message_words,
+                 sp.metadata["fallback_commands"], sp.size, ok)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E7 / distributed fibonacci, message cap n^(1/t)",
+        format_table(
+            ["t", "cap words", "order used", "rounds", "max words",
+             "fallbacks", "size", "connected"],
+            rows,
+            title=f"Theorem 8 on grid 25x25 (n={graph.n})",
+        ),
+    )
+    for t, cap, order, rounds, width, fallbacks, size, ok in rows:
+        assert ok
+        assert cap == math.ceil(graph.n ** (1 / t))
+        # Round budget O(ell^{o+1}) with the construction's own ell.
+        assert rounds < 20 * 8 ** (order + 1)
+    # Tighter caps (larger t) never *reduce* the order used.
+    orders = [r[2] for r in rows]
+    assert orders == sorted(orders)
+
+
+def test_las_vegas_fallback_preserves_correctness(benchmark, report):
+    # A brutal 2-word cap forces cessation everywhere; the Las-Vegas
+    # detection must still deliver a connectivity-preserving spanner.
+    graph = grid_2d(12, 12)
+
+    def run():
+        sp = distributed_fibonacci_spanner(
+            graph, order=2, eps=1.0, seed=6, max_message_words=2
+        )
+        return sp, verify_connectivity(graph, sp.subgraph())
+
+    sp, ok = benchmark.pedantic(run, rounds=1, iterations=1)
+    ceased_phases = [
+        name for name, stats in sp.metadata["phase_stats"]
+        if name.startswith("detect") or name.startswith("fallback")
+    ]
+    rows = [
+        ("cap (words)", 2),
+        ("fallback commands", sp.metadata["fallback_commands"]),
+        ("recovery phases run", len(ceased_phases)),
+        ("connected", ok),
+        ("size", sp.size),
+    ]
+    report(
+        "E7b / Las-Vegas fallback under a 2-word cap",
+        format_table(["metric", "value"], rows,
+                     title="Sect. 4.4 Monte-Carlo -> Las-Vegas conversion"),
+    )
+    assert ok

@@ -1,0 +1,78 @@
+"""E4 — Theorem 2: round complexity O(t + log n), messages O(log^eps n).
+
+Runs the distributed skeleton protocol and reports the synchronous
+schedule budget (what the paper's round count bounds), the simulated
+rounds actually consumed, and the message-width audit.  Shape checks:
+budgeted rounds grow far slower than n (doubling n must not double the
+budget); the width cap of O(log^eps n) words is never violated.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import format_table
+from repro.distributed import distributed_skeleton
+from repro.graphs import erdos_renyi_gnp
+
+
+def test_skeleton_round_complexity(benchmark, report):
+    ns = (200, 400, 800)
+
+    def sweep():
+        rows = []
+        for n in ns:
+            graph = erdos_renyi_gnp(n, 8.0 / n, seed=n)
+            sp = distributed_skeleton(graph, D=4, eps=0.5, seed=1)
+            st = sp.metadata["network_stats"]
+            rows.append(
+                (n, sp.metadata["budgeted_rounds"], st.rounds,
+                 sp.metadata["expand_calls"], st.max_message_words,
+                 sp.metadata["message_cap"], st.violations)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E4 / skeleton rounds & message width",
+        format_table(
+            ["n", "budgeted rounds", "simulated rounds", "expand calls",
+             "max msg words", "cap O(log^eps n)", "violations"],
+            rows,
+            title="Theorem 2: O(t + log n) rounds, O(log^eps n)-word messages",
+        ),
+    )
+    for _, _, _, _, width, cap, violations in rows:
+        assert violations == 0
+        assert width <= cap
+    # Sub-linear round growth: 4x vertices, far less than 4x rounds.
+    assert rows[-1][1] < rows[0][1] * (ns[-1] / ns[0])
+
+
+def test_eps_controls_width(benchmark, report):
+    graph = erdos_renyi_gnp(500, 0.03, seed=9)
+
+    def sweep():
+        rows = []
+        for eps in (0.25, 0.5, 1.0):
+            sp = distributed_skeleton(graph, D=4, eps=eps, seed=2)
+            st = sp.metadata["network_stats"]
+            rows.append(
+                (eps, sp.metadata["message_cap"], st.max_message_words,
+                 sp.metadata["budgeted_rounds"])
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E4b / eps (message budget) vs rounds",
+        format_table(
+            ["eps", "cap (words)", "max words seen", "budgeted rounds"],
+            rows,
+            title="Shorter messages (smaller eps) cost more rounds",
+        ),
+    )
+    caps = [r[1] for r in rows]
+    assert caps == sorted(caps)  # larger eps => wider budget
+    for _, cap, width, _ in rows:
+        assert width <= cap

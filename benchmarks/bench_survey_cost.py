@@ -1,0 +1,64 @@
+"""E19 — the non-locality cost of girth-based skeletons (Sect. 2 intro).
+
+"Any algorithm taking [the girth] approach seems to require that vertices
+survey their whole Theta(log n)-neighborhood, which can require messages
+linear in the size of the graph."
+
+Measured head-to-head on one network: the message width the survey
+demands (collecting the 2-ceil(log n)-neighborhood topology, the radius
+the greedy girth filter needs) vs the skeleton protocol's O(log^eps n)
+cap.  The gap is the paper's motivation for Section 2's design.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import format_table
+from repro.baselines.girth_skeleton import required_neighborhood_radius
+from repro.distributed import distributed_skeleton
+from repro.distributed.survey_protocol import neighborhood_survey
+from repro.graphs import erdos_renyi_gnp
+
+
+def test_survey_width_vs_skeleton_width(benchmark, report):
+    graph = erdos_renyi_gnp(300, 0.05, seed=19)
+    radius = required_neighborhood_radius(graph.n)
+
+    def run():
+        known, survey_stats = neighborhood_survey(graph, radius)
+        coverage = sum(len(edges) for edges in known.values()) / graph.n
+        sk = distributed_skeleton(graph, D=4, eps=0.5, seed=20)
+        sk_stats = sk.metadata["network_stats"]
+        return survey_stats, coverage, sk, sk_stats
+
+    survey_stats, coverage, sk, sk_stats = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    rows = [
+        ("girth survey (radius %d)" % radius,
+         survey_stats.rounds, survey_stats.max_message_words,
+         round(coverage, 1)),
+        ("skeleton protocol (Thm 2)",
+         sk_stats.rounds, sk_stats.max_message_words, "-"),
+    ]
+    report(
+        "E19 / message width: girth survey vs skeleton",
+        format_table(
+            ["approach", "rounds", "max msg words",
+             "edges known per vertex"],
+            rows,
+            title=(
+                f"G(n={graph.n}, m={graph.m}): surveying the "
+                "Theta(log n)-neighborhood needs near-graph-size messages"
+            ),
+        ),
+    )
+    # The survey's messages approach the size of the graph (2 words/edge)
+    # while the skeleton stays at O(log^eps n) words.
+    assert survey_stats.max_message_words > graph.m / 4
+    assert sk_stats.max_message_words <= 4 * math.ceil(
+        math.log2(graph.n) ** 0.5
+    )
+    # In this small world, most vertices end up knowing most edges.
+    assert coverage > graph.m / 2

@@ -1,0 +1,48 @@
+"""Benchmark-suite plumbing.
+
+Every bench computes the data for one paper artifact (Fig. 1 or a theorem
+claim), renders it as an ASCII table, and registers it via the ``report``
+fixture.  A terminal-summary hook prints all tables after the run (so they
+appear even with output capture on) and writes them to
+``benchmarks/RESULTS.md`` for EXPERIMENTS.md to reference.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+import pytest
+
+_TABLES: List[Tuple[str, str]] = []
+
+
+@pytest.fixture
+def report():
+    """Register a rendered table: ``report(experiment_id, table_text)``."""
+
+    def _add(experiment_id: str, text: str) -> None:
+        _TABLES.append((experiment_id, text))
+
+    return _add
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 72)
+    terminalreporter.write_line("REPRODUCED PAPER ARTIFACTS")
+    terminalreporter.write_line("=" * 72)
+    for experiment_id, text in _TABLES:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {experiment_id} ---")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    results_path = os.path.join(os.path.dirname(__file__), "RESULTS.md")
+    with open(results_path, "w") as fh:
+        fh.write("# Benchmark results (auto-generated)\n")
+        for experiment_id, text in _TABLES:
+            fh.write(f"\n## {experiment_id}\n\n```\n{text}\n```\n")
+    terminalreporter.write_line("")
+    terminalreporter.write_line(f"(tables also written to {results_path})")

@@ -1,0 +1,65 @@
+"""Approximate shortest-path routing over a Fibonacci spanner.
+
+The intro motivates spanners through "compact routing tables with small
+stretch" and "communication-efficient approximate shortest path
+algorithms".  A router that stores only the spanner (here: less than
+half of the links) answers route queries with multiplicative error
+that — uniquely for Fibonacci spanners — *shrinks* with the route
+length: nearby queries pay the worst stretch, long-haul routes are
+near-optimal.
+
+The topology is a chain of dense sites (think racks joined by a
+backbone): plenty of intra-site redundancy for the spanner to drop,
+long inter-site routes for stage 3/4 of Theorem 7 to shine on.
+
+Run:  python examples/approximate_routing.py
+"""
+
+import random
+
+from repro.core import build_fibonacci_spanner
+from repro.graphs import bfs_distances, chain_of_cliques
+from repro.spanner import pair_stretch
+
+
+def main() -> None:
+    graph = chain_of_cliques(20, 12, link_length=2)
+    spanner = build_fibonacci_spanner(
+        graph, order=2, ell=4, probabilities=[0.2, 0.03], seed=11
+    )
+    sub = spanner.subgraph()
+    print(f"network: n={graph.n}, m={graph.m}; "
+          f"routing overlay: {spanner.size} edges "
+          f"({spanner.size / graph.m:.0%} of links)")
+
+    rng = random.Random(12)
+    vertices = sorted(graph.vertices())
+    buckets = {
+        "short (d<=2)": [],
+        "medium (3<=d<=8)": [],
+        "long (d>8)": [],
+    }
+    for _ in range(600):
+        u, v = rng.sample(vertices, 2)
+        d = bfs_distances(graph, u)[v]
+        mult, _ = pair_stretch(graph, sub, u, v)
+        if d <= 2:
+            buckets["short (d<=2)"].append(mult)
+        elif d <= 8:
+            buckets["medium (3<=d<=8)"].append(mult)
+        else:
+            buckets["long (d>8)"].append(mult)
+
+    print(f"\n{'route length':<20} {'queries':>8} {'mean stretch':>13} "
+          f"{'worst stretch':>14}")
+    for name, values in buckets.items():
+        if not values:
+            continue
+        print(f"{name:<20} {len(values):>8} "
+              f"{sum(values) / len(values):>13.3f} {max(values):>14.3f}")
+    print("\nFibonacci property: the longer the route, the closer the "
+          "overlay path is to optimal.")
+
+
+if __name__ == "__main__":
+    main()

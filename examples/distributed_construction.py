@@ -1,0 +1,57 @@
+"""Watch the Theorem 2 protocol run on a simulated network.
+
+Every vertex is a processor; the skeleton is built purely by message
+passing (cluster announcements, tree convergecasts, pipelined death
+dumps) under an O(log^eps n)-word message cap.  The run prints the
+cluster-count trajectory — the exponential collapse that each round's
+Expand calls produce — and the communication bill.
+
+Run:  python examples/distributed_construction.py
+"""
+
+from repro.core import build_skeleton
+from repro.distributed import distributed_skeleton
+from repro.graphs import erdos_renyi_gnp
+from repro.spanner import verify_connectivity
+from repro.util import make_prf
+
+
+def main() -> None:
+    graph = erdos_renyi_gnp(500, 0.04, seed=8)
+    seed = 2008
+
+    spanner = distributed_skeleton(graph, D=4, eps=0.5, seed=seed)
+    stats = spanner.metadata["network_stats"]
+
+    print(f"network: n={graph.n}, m={graph.m}")
+    print(f"message cap: {spanner.metadata['message_cap']} words "
+          f"(O(log^eps n), eps=0.5)")
+    print("\ncluster collapse per Expand call:")
+    trajectory = [graph.n] + spanner.metadata["cluster_counts"]
+    for call, (before, after) in enumerate(
+        zip(trajectory, trajectory[1:])
+    ):
+        bar = "#" * max(1, after * 60 // graph.n) if after else ""
+        print(f"  call {call:>2}: {before:>5} -> {after:>5}  {bar}")
+
+    print(f"\nspanner size        : {spanner.size} edges")
+    print(f"budgeted rounds     : {spanner.metadata['budgeted_rounds']} "
+          f"(synchronous schedule)")
+    print(f"simulated rounds    : {stats.rounds}")
+    print(f"messages delivered  : {stats.messages}")
+    print(f"max message width   : {stats.max_message_words} words "
+          f"(violations: {stats.violations})")
+    print(f"connectivity ok     : "
+          f"{verify_connectivity(graph, spanner.subgraph())}")
+
+    # The same PRF drives the sequential reference — identical clustering.
+    reference = build_skeleton(graph, D=4, prf=make_prf(seed))
+    match = (
+        reference.metadata["cluster_counts"]
+        == spanner.metadata["cluster_counts"]
+    )
+    print(f"matches sequential reference run: {match}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""CLI: `python -m repro` — run the Fig. 1 comparison on a demo graph.
+
+Options:
+    python -m repro [n] [p] [seed]
+
+Builds an Erdős–Rényi host with the given parameters (defaults
+n=400, p=0.08, seed=2008) and prints the measured comparison table of
+every implemented spanner construction.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.report import fig1_report, render_fig1
+from repro.graphs import erdos_renyi_gnp
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    n = int(argv[0]) if len(argv) > 0 else 400
+    p = float(argv[1]) if len(argv) > 1 else 0.08
+    seed = int(argv[2]) if len(argv) > 2 else 2008
+
+    graph = erdos_renyi_gnp(n, p, seed=seed)
+    print(f"host: Erdos-Renyi G(n={n}, p={p}) -> m={graph.m}\n")
+    rows = fig1_report(graph, seed=seed)
+    print(render_fig1(rows, title="Fig. 1, measured on this host"))
+    print(
+        "\nSee EXPERIMENTS.md for the full reproduction record and\n"
+        "`pytest benchmarks/ --benchmark-only` for every paper artifact."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

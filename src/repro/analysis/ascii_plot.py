@@ -1,0 +1,96 @@
+"""Dependency-free ASCII plotting for examples and bench output.
+
+Terminal-friendly scatter/curve rendering: the Fibonacci stage curve,
+size-vs-n scaling, and similar bench artifacts can be *seen* without any
+plotting stack (the library has zero runtime dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def ascii_curve(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    marker: str = "o",
+    y_floor: Optional[float] = None,
+) -> str:
+    """Render (x, y) points as an ASCII scatter plot.
+
+    Axes are linearly scaled to the data range; ``y_floor`` forces the
+    y-axis to start at a given value (e.g. 1.0 for stretch curves).
+    """
+    pts = [(float(x), float(y)) for x, y in points
+           if y == y and y not in (float("inf"), float("-inf"))]
+    if not pts:
+        return "(no data)"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo = min(ys) if y_floor is None else min(y_floor, min(ys))
+    y_hi = max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid: List[List[str]] = [
+        [" "] * width for _ in range(height)
+    ]
+    for x, y in pts:
+        col = round((x - x_lo) / x_span * (width - 1))
+        row = round((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi_text = f"{y_hi:.3g}"
+    y_lo_text = f"{y_lo:.3g}"
+    pad = max(len(y_hi_text), len(y_lo_text))
+    for i, row_chars in enumerate(grid):
+        if i == 0:
+            prefix = y_hi_text.rjust(pad)
+        elif i == height - 1:
+            prefix = y_lo_text.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row_chars)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    x_lo_text = f"{x_lo:.3g}"
+    x_hi_text = f"{x_hi:.3g}"
+    gap = width - len(x_lo_text) - len(x_hi_text)
+    lines.append(
+        " " * (pad + 2) + x_lo_text + " " * max(1, gap) + x_hi_text
+    )
+    lines.append(" " * (pad + 2) + f"[{x_label} -> ; {y_label} ^]")
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Render a histogram of ``values`` with one text row per bin."""
+    data = [float(v) for v in values if v == v]
+    if not data:
+        return "(no data)"
+    lo, hi = min(data), max(data)
+    span = (hi - lo) or 1.0
+    counts = [0] * bins
+    for v in data:
+        idx = min(bins - 1, int((v - lo) / span * bins))
+        counts[idx] += 1
+    top = max(counts)
+    lines = [title] if title else []
+    for i, count in enumerate(counts):
+        left = lo + span * i / bins
+        right = lo + span * (i + 1) / bins
+        bar = "#" * round(count / top * width) if top else ""
+        lines.append(f"[{left:8.3g}, {right:8.3g}) {count:>6} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Programmatic Fig. 1 report generation.
+
+``fig1_report(graph)`` runs every implemented construction on one host
+and returns the measured comparison rows — the same data bench E1
+renders, packaged for library users (and the ``python -m repro`` CLI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.tables import format_table
+from repro.graphs.graph import Graph
+from repro.util.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class AlgorithmRow:
+    """One measured Fig. 1 row."""
+
+    name: str
+    size: int
+    size_per_n: float
+    max_stretch: float
+    mean_stretch: float
+    rounds: str
+    max_message_words: str
+
+    def as_tuple(self):
+        return (
+            self.name, self.size, round(self.size_per_n, 2),
+            self.max_stretch, round(self.mean_stretch, 3),
+            self.rounds, self.max_message_words,
+        )
+
+
+def fig1_report(
+    graph: Graph,
+    seed: SeedLike = None,
+    num_sources: int = 30,
+    include_distributed: bool = True,
+) -> List[AlgorithmRow]:
+    """Measure every implemented construction on ``graph``.
+
+    ``include_distributed=False`` runs only the sequential builders
+    (faster; round columns become analytic).
+    """
+    rng = ensure_rng(seed)
+
+    def measure(name, spanner, rounds, width):
+        stats = spanner.stretch(num_sources=num_sources, seed=rng.random())
+        return AlgorithmRow(
+            name=name,
+            size=spanner.size,
+            size_per_n=spanner.size / max(1, graph.n),
+            max_stretch=stats.max_multiplicative,
+            mean_stretch=stats.mean_multiplicative,
+            rounds=str(rounds),
+            max_message_words=str(width),
+        )
+
+    rows: List[AlgorithmRow] = []
+    if include_distributed:
+        from repro.distributed import (
+            distributed_baswana_sen,
+            distributed_fibonacci_spanner,
+            distributed_skeleton,
+        )
+
+        sk = distributed_skeleton(graph, D=4, seed=rng.getrandbits(32))
+        st = sk.metadata["network_stats"]
+        rows.append(measure("skeleton (Thm 2)", sk,
+                            sk.metadata["budgeted_rounds"],
+                            st.max_message_words))
+        fib = distributed_fibonacci_spanner(
+            graph, order=2, eps=0.5, seed=rng.getrandbits(32)
+        )
+        st = fib.metadata["network_stats"]
+        rows.append(measure("fibonacci (Thm 8)", fib, st.rounds,
+                            st.max_message_words))
+        bs = distributed_baswana_sen(graph, k=3, seed=rng.getrandbits(32))
+        st = bs.metadata["network_stats"]
+        rows.append(measure("baswana-sen k=3", bs, st.rounds,
+                            st.max_message_words))
+    else:
+        from repro.baselines import baswana_sen_spanner
+        from repro.core import build_fibonacci_spanner, build_skeleton
+
+        rows.append(measure(
+            "skeleton (Thm 2)",
+            build_skeleton(graph, D=4, seed=rng.getrandbits(32)),
+            "O(t + log n)", "O(log^eps n)",
+        ))
+        rows.append(measure(
+            "fibonacci (Thm 8)",
+            build_fibonacci_spanner(graph, order=2,
+                                    seed=rng.getrandbits(32)),
+            "O(ell^(o+t))", "O(n^(1/t))",
+        ))
+        rows.append(measure(
+            "baswana-sen k=3",
+            baswana_sen_spanner(graph, 3, seed=rng.getrandbits(32)),
+            "O(k^2)", "1",
+        ))
+
+    from repro.baselines import (
+        additive2_spanner,
+        bfs_forest,
+        elkin_zhang_spanner,
+        girth_skeleton,
+    )
+    from repro.baselines.girth_skeleton import required_neighborhood_radius
+
+    rows.append(measure(
+        "elkin-zhang (1+eps,beta)",
+        elkin_zhang_spanner(graph, eps=0.5, levels=3,
+                            seed=rng.getrandbits(32)),
+        "O(beta)", "O(n^(1/t))",
+    ))
+    rows.append(measure(
+        "girth skeleton [18]", girth_skeleton(graph),
+        f"~{required_neighborhood_radius(graph.n)} survey", "unbounded",
+    ))
+    rows.append(measure(
+        "additive-2 [3]",
+        additive2_spanner(graph, seed=rng.getrandbits(32)),
+        "Omega(n^(1/4)) (Thm 5)", "-",
+    ))
+    rows.append(measure("bfs forest", bfs_forest(graph), "O(diam)", "-"))
+    return rows
+
+
+def render_fig1(rows: List[AlgorithmRow], title: str = "") -> str:
+    """Render report rows as the Fig. 1-style ASCII table."""
+    return format_table(
+        ["algorithm", "size", "size/n", "max stretch", "mean stretch",
+         "rounds", "max msg words"],
+        [r.as_tuple() for r in rows],
+        title=title,
+    )

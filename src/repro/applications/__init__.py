@@ -1,0 +1,31 @@
+"""Applications built on spanners — the paper's motivating use cases.
+
+The introduction motivates spanners via synchronizers, compact routing
+tables and approximate shortest paths; the conclusion singles out
+approximate distance oracles and compact routing as "perhaps the most
+interesting applications".  This package implements them:
+
+* :mod:`repro.applications.distance_oracle` — the Thorup–Zwick
+  approximate distance oracle [38];
+* :mod:`repro.applications.routing` — compact interval tree routing over
+  a spanner;
+* :mod:`repro.applications.synchronizer` — overlay cost accounting for
+  synchronizer-style flooding.
+"""
+
+from repro.applications.compact_routing import CompactRouter
+from repro.applications.distance_oracle import DistanceOracle
+from repro.applications.labeling import DistanceLabel, DistanceLabeling
+from repro.applications.routing import TreeRouter, spanner_router
+from repro.applications.synchronizer import OverlayReport, overlay_report
+
+__all__ = [
+    "CompactRouter",
+    "DistanceOracle",
+    "DistanceLabel",
+    "DistanceLabeling",
+    "TreeRouter",
+    "spanner_router",
+    "OverlayReport",
+    "overlay_report",
+]

@@ -1,0 +1,140 @@
+"""Thorup–Zwick compact routing (conclusion application [37]).
+
+Routing with small tables and bounded stretch — the application the
+conclusion measures against spanners ("compact routing tables that
+guarantee approximately shortest routes").  The scheme rides the oracle
+structure:
+
+* every vertex stores, per level i, the next hop toward its pivot
+  p_i(v) (the A_i BFS-forest pointer), and, per bunch witness w, its
+  parent inside the cluster tree of C(w) — O(k + k n^{1/k}) entries;
+* a packet's header carries the target's distance label;
+* delivery: the bouncing walk over (source label, header) names a
+  witness w with v in C(w); the packet climbs the A_i forest from u to
+  w (every vertex on that forest path shares the pivot, so local
+  pointers suffice), then descends C(w)'s shortest-path tree to v.
+
+Route length = delta(u, w) + delta_{C(w)}(w, v) — exactly the oracle
+estimate, hence stretch at most 2k - 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.applications.distance_oracle import DistanceOracle
+from repro.graphs.graph import Graph
+from repro.util.rng import SeedLike
+
+INF = float("inf")
+
+
+class CompactRouter:
+    """A (2k-1)-stretch compact routing scheme over ``graph``."""
+
+    def __init__(self, graph: Graph, k: int, seed: SeedLike = None):
+        self.graph = graph
+        self.k = k
+        self.oracle = DistanceOracle(graph, k, seed=seed)
+        # Descend pointers: for each cluster tree, children lists.
+        self._children: Dict[int, Dict[int, List[int]]] = {}
+        for w, parents in self.oracle.cluster_tree.items():
+            children: Dict[int, List[int]] = {}
+            for v, parent in parents.items():
+                if parent is not None:
+                    children.setdefault(parent, []).append(v)
+            self._children[w] = children
+
+    # ------------------------------------------------------------------
+    def _select_witness(self, u: int, v: int):
+        """The bouncing walk: returns (w, swapped) or None.
+
+        ``swapped`` tells whether the roles flipped an odd number of
+        times (the climb happens from the current "u" side).
+        """
+        oracle = self.oracle
+        a, b = u, v
+        w = a
+        i = 0
+        swapped = False
+        while w not in oracle.bunch[b]:
+            i += 1
+            if i >= self.k:
+                return None
+            a, b = b, a
+            swapped = not swapped
+            w = oracle.pivot[i].get(a)
+            if w is None:
+                return None
+        return w, i, swapped
+
+    def _climb(self, start: int, w: int, level: int) -> Optional[List[int]]:
+        """Follow level-``level`` forest pointers from start up to w."""
+        path = [start]
+        node = start
+        for _ in range(self.graph.n + 1):
+            if node == w:
+                return path
+            nxt = self.oracle.pivot_parent[level].get(node)
+            if nxt is None:
+                return None if node != w else path
+            path.append(nxt)
+            node = nxt
+        return None  # pragma: no cover - cycle guard
+
+    def _descend(self, w: int, target: int) -> Optional[List[int]]:
+        """Walk down C(w)'s tree from w to target (parent-chain reversed)."""
+        parents = self.oracle.cluster_tree.get(w)
+        if parents is None or target not in parents:
+            return None
+        chain = [target]
+        node = target
+        while parents[node] is not None:
+            node = parents[node]
+            chain.append(node)
+        if node != w:
+            return None  # pragma: no cover - defensive
+        chain.reverse()
+        return chain
+
+    def route(self, u: int, v: int) -> Optional[List[int]]:
+        """The packet's vertex path from u to v (None if disconnected)."""
+        if u == v:
+            return [u]
+        selected = self._select_witness(u, v)
+        if selected is None:
+            return None
+        w, level, swapped = selected
+        climb_from, descend_to = (v, u) if swapped else (u, v)
+        up = (
+            [climb_from] if w == climb_from
+            else self._climb(climb_from, w, level)
+        )
+        down = self._descend(w, descend_to)
+        if up is None or down is None:
+            return None
+        path = up + down[1:]
+        if swapped:
+            path.reverse()
+        return path
+
+    # ------------------------------------------------------------------
+    def table_entries(self, v: int) -> int:
+        """Local routing-table size: pivot pointers + bunch tree slots."""
+        pivots = sum(
+            1 for i in range(self.k)
+            if self.oracle.pivot_parent[i].get(v) is not None
+        )
+        return pivots + len(self.oracle.bunch[v])
+
+    def max_table_entries(self) -> int:
+        return max(
+            (self.table_entries(v) for v in self.graph.vertices()),
+            default=0,
+        )
+
+    def verify_route(self, path: List[int]) -> bool:
+        """All hops are real edges (test hook)."""
+        return all(
+            self.graph.has_edge(a, b) for a, b in zip(path, path[1:])
+        )

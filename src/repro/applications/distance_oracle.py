@@ -1,0 +1,154 @@
+"""Thorup–Zwick approximate distance oracles [38].
+
+The conclusion asks whether distance-oracle space/stretch trade-offs can
+match the best spanners'; this module provides the classical baseline the
+question is measured against: for any integer k >= 1, expected space
+O(k n^{1+1/k}) and query stretch at most 2k - 1 in O(k) time.
+
+Construction (unweighted specialization):
+
+* sample A_0 = V ⊇ A_1 ⊇ ... ⊇ A_{k-1} (⊇ A_k = ∅), each level keeping
+  vertices with probability n^{-1/k};
+* for every v store the *pivots* p_i(v) (nearest A_i vertex, min-id ties)
+  and the *bunch* B(v) = ∪_i { w ∈ A_i \\ A_{i+1} : δ(v,w) < δ(v,A_{i+1}) }
+  with exact distances;
+* query(u, v) walks the levels, bouncing between u and v, until the
+  current pivot w = p_i(u) lands in B(v); then it returns
+  δ(u, w) + δ(w, v) <= (2i + 1) δ(u, v).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set
+
+from repro.graphs.graph import Graph
+from repro.graphs.properties import multi_source_bfs
+from repro.util.rng import SeedLike, ensure_rng
+
+INF = float("inf")
+
+
+class DistanceOracle:
+    """A (2k-1)-approximate distance oracle for an unweighted graph."""
+
+    def __init__(
+        self, graph: Graph, k: int, seed: SeedLike = None
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.graph = graph
+        self.k = k
+        rng = ensure_rng(seed)
+        n = graph.n
+
+        # --- level sampling -----------------------------------------
+        levels: List[Set[int]] = [set(graph.vertices())]
+        keep_p = n ** (-1.0 / k) if n > 1 else 0.0
+        for _ in range(1, k):
+            levels.append(
+                {v for v in sorted(levels[-1]) if rng.random() < keep_p}
+            )
+        levels.append(set())  # A_k = empty
+        self.levels = levels
+
+        # --- pivots and witness distances ---------------------------
+        # pivot[i][v] = p_i(v); dist_to_level[i][v] = delta(v, A_i);
+        # pivot_parent[i][v] = next hop from v toward p_i(v) (the BFS
+        # forest pointer the compact-routing scheme follows).
+        self.pivot: List[Dict[int, int]] = [
+            {v: v for v in graph.vertices()}
+        ]
+        self.dist_to_level: List[Dict[int, float]] = [
+            {v: 0 for v in graph.vertices()}
+        ]
+        self.pivot_parent: List[Dict[int, Optional[int]]] = [
+            {v: None for v in graph.vertices()}
+        ]
+        for i in range(1, k):
+            dist, root, parent = multi_source_bfs(graph, levels[i])
+            self.pivot.append(root)
+            self.dist_to_level.append(dict(dist))
+            self.pivot_parent.append(parent)
+        self.dist_to_level.append({})  # delta(., A_k) = infinity
+
+        # --- bunches -------------------------------------------------
+        # w in B(v) iff v in C(w) = {v : delta(w, v) < delta(v, A_{i+1})}
+        # for w in A_i \ A_{i+1}.  Grow each cluster by a pruned BFS,
+        # keeping the cluster's shortest-path tree for compact routing.
+        self.bunch: Dict[int, Dict[int, int]] = {
+            v: {} for v in graph.vertices()
+        }
+        #: cluster_tree[w][v] = v's parent toward w within C(w).
+        self.cluster_tree: Dict[int, Dict[int, Optional[int]]] = {}
+        for i in range(k):
+            cutoff = self.dist_to_level[i + 1] if i + 1 < len(
+                self.dist_to_level
+            ) else {}
+            for w in sorted(levels[i] - levels[i + 1]):
+                self._grow_cluster(w, cutoff)
+
+    def _grow_cluster(self, w: int, cutoff: Dict[int, float]) -> None:
+        """Pruned BFS from w: only enter v while dist < delta(v, A_{i+1})."""
+        dist = {w: 0}
+        parent: Dict[int, Optional[int]] = {w: None}
+        queue = deque([w])
+        while queue:
+            x = queue.popleft()
+            d = dist[x] + 1
+            for y in self.graph.neighbors(x):
+                if y in dist:
+                    continue
+                if d < cutoff.get(y, INF):
+                    dist[y] = d
+                    parent[y] = x
+                    queue.append(y)
+        for v, d in dist.items():
+            self.bunch[v][w] = d
+        self.cluster_tree[w] = parent
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, u: int, v: int) -> float:
+        """Approximate distance: at most (2k - 1) * delta(u, v).
+
+        The classical bouncing walk: while p_i(u) is outside B(v), swap
+        the endpoints and climb a level.  Termination is guaranteed for
+        connected pairs because top-level clusters are unbounded.
+        """
+        if u == v:
+            return 0
+        w, i = u, 0
+        while w not in self.bunch[v]:
+            i += 1
+            if i >= self.k:
+                return INF  # different components (or unreachable A_i)
+            u, v = v, u
+            w = self.pivot[i].get(u)
+            if w is None:
+                return INF
+        return self.dist_to_level[i].get(u, INF) + self.bunch[v][w]
+
+    def dist_to_level_of(self, u: int, i: int) -> float:
+        """delta(u, A_i) (infinity when A_i is unreachable from u)."""
+        return self.dist_to_level[i].get(u, INF)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Total stored (vertex, witness) distance entries."""
+        return sum(len(b) for b in self.bunch.values())
+
+    def expected_size_bound(self) -> float:
+        """The k n^{1 + 1/k} space bound (expected, without constants)."""
+        n = max(2, self.graph.n)
+        return self.k * n ** (1 + 1 / self.k)
+
+    def __repr__(self) -> str:
+        return (
+            f"DistanceOracle(k={self.k}, n={self.graph.n}, "
+            f"size={self.size})"
+        )

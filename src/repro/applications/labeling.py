@@ -1,0 +1,99 @@
+"""Distance labeling schemes (intro application [26, 38]).
+
+A distance labeling assigns every vertex a short label such that the
+distance between u and v can be approximated from label(u) and label(v)
+*alone* — no access to the graph, the defining property of the scheme
+(Gavoille–Peleg–Pérennes–Raz [26]).  The Thorup–Zwick structure is
+exactly such a scheme: label(v) = (pivots of v with their distances,
+bunch of v with its distances); the bouncing query walks only the two
+labels.  Expected label size: O(k n^{1/k}) entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.applications.distance_oracle import DistanceOracle
+from repro.graphs.graph import Graph
+from repro.util.rng import SeedLike
+
+INF = float("inf")
+
+
+@dataclass
+class DistanceLabel:
+    """One vertex's label: per-level pivots and the witness bunch."""
+
+    vertex: int
+    #: pivots[i] = (p_i(v), delta(v, A_i)); None when A_i is unreachable.
+    pivots: List[Optional[Tuple[int, float]]]
+    #: bunch entries: witness -> exact distance.
+    bunch: Dict[int, float]
+
+    @property
+    def size_words(self) -> int:
+        """Label size in O(log n)-bit words (2 per entry)."""
+        return 2 * len(self.bunch) + 2 * sum(
+            1 for p in self.pivots if p is not None
+        )
+
+
+class DistanceLabeling:
+    """A (2k-1)-approximate distance labeling of ``graph``."""
+
+    def __init__(self, graph: Graph, k: int, seed: SeedLike = None):
+        oracle = DistanceOracle(graph, k, seed=seed)
+        self.k = k
+        self._labels: Dict[int, DistanceLabel] = {}
+        for v in graph.vertices():
+            pivots: List[Optional[Tuple[int, float]]] = []
+            for i in range(k):
+                pivot = oracle.pivot[i].get(v)
+                if pivot is None:
+                    pivots.append(None)
+                else:
+                    pivots.append((pivot, oracle.dist_to_level[i][v]))
+            self._labels[v] = DistanceLabel(
+                vertex=v, pivots=pivots, bunch=dict(oracle.bunch[v])
+            )
+
+    def label(self, v: int) -> DistanceLabel:
+        return self._labels[v]
+
+    @property
+    def max_label_words(self) -> int:
+        return max(
+            (label.size_words for label in self._labels.values()),
+            default=0,
+        )
+
+    @property
+    def total_words(self) -> int:
+        return sum(label.size_words for label in self._labels.values())
+
+    @staticmethod
+    def query(label_u: DistanceLabel, label_v: DistanceLabel) -> float:
+        """Approximate delta(u, v) from the two labels alone.
+
+        The same bouncing walk as the oracle, but every lookup hits one
+        of the two labels — the decentralized property.
+        """
+        if label_u.vertex == label_v.vertex:
+            return 0
+        a, b = label_u, label_v
+        w = a.vertex
+        i = 0
+        k = len(a.pivots)
+        while w not in b.bunch:
+            i += 1
+            if i >= k:
+                return INF
+            a, b = b, a
+            pivot = a.pivots[i]
+            if pivot is None:
+                return INF
+            w = pivot[0]
+        if i == 0:
+            return b.bunch[w]  # w == a.vertex, delta(a, w) = 0
+        return a.pivots[i][1] + b.bunch[w]

@@ -1,0 +1,83 @@
+"""Additive 2-spanner of Aingworth, Chekuri, Indyk and Motwani [3].
+
+Theorem 5 shows such spanners need Omega(n^{1/4}) distributed rounds; this
+sequential construction provides the object itself for comparison rows and
+for exercising the lower-bound harness predictions:
+
+* vertices of degree >= threshold are *heavy*;
+* all edges incident to a light vertex are kept (O(n * threshold));
+* a random dominating set D hits every heavy vertex's neighborhood whp;
+  a full BFS tree from each dominator is kept, plus one edge from every
+  heavy vertex into D.
+
+With threshold ~ sqrt(n log n) the size is O(n^{3/2} sqrt(log n)) and the
+additive distortion is 2: a shortest path either is all-light (fully kept)
+or passes within one hop of a dominator whose BFS tree is exact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Set
+
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.graphs.properties import bfs_parents
+from repro.spanner.spanner import Spanner
+from repro.util.rng import SeedLike, ensure_rng
+
+
+def additive2_spanner(
+    graph: Graph,
+    threshold: Optional[int] = None,
+    seed: SeedLike = None,
+) -> Spanner:
+    """Build an additive 2-spanner of expected size O(n^{3/2} sqrt(log n))."""
+    rng = ensure_rng(seed)
+    n = graph.n
+    if n == 0:
+        return Spanner(graph, set(), {"algorithm": "additive-2"})
+    if threshold is None:
+        threshold = max(1, math.ceil(math.sqrt(n * max(1.0, math.log(n)))))
+
+    kept: Set[Edge] = set()
+    heavy = {v for v in graph.vertices() if graph.degree(v) >= threshold}
+
+    # Light edges: both endpoints light, or the light endpoint keeps them.
+    for u, v in graph.edges():
+        if u not in heavy or v not in heavy:
+            kept.add((u, v))
+
+    if heavy:
+        # Dominating set: sampling w.p. (2 ln n)/threshold hits every
+        # heavy neighborhood whp; patch any missed vertex explicitly so
+        # the additive-2 guarantee is deterministic.
+        p = min(1.0, 2 * math.log(max(2, n)) / threshold)
+        dominators = {v for v in sorted(graph.vertices()) if rng.random() < p}
+        for v in sorted(heavy):
+            if v in dominators:
+                continue
+            if not any(u in dominators for u in graph.neighbors(v)):
+                dominators.add(min(graph.neighbors(v)))
+        # One edge from each heavy vertex into the dominating set.
+        for v in sorted(heavy):
+            if v in dominators:
+                continue
+            dominated_by = [u for u in graph.neighbors(v) if u in dominators]
+            if dominated_by:
+                kept.add(canonical_edge(v, min(dominated_by)))
+        # Full BFS tree from every dominator.
+        for d in sorted(dominators):
+            _, parent = bfs_parents(graph, d)
+            for v, par in parent.items():
+                if par is not None:
+                    kept.add(canonical_edge(v, par))
+
+    return Spanner(
+        graph,
+        kept,
+        {
+            "algorithm": "additive-2",
+            "threshold": threshold,
+            "heavy_vertices": len(heavy),
+        },
+    )

@@ -1,0 +1,94 @@
+"""Baswana–Sen randomized (2k-1)-spanner (sequential semantics).
+
+The clustering algorithm of [10] specialized to unweighted graphs: k - 1
+sampling rounds grow radius-i clusters; vertices that see no sampled
+cluster dump one edge per adjacent cluster and leave the game; a final
+vertex-cluster joining round connects every survivor to each adjacent
+cluster.  Expected size O(k n + log k * n^{1+1/k}) — the log k factor is
+this paper's corrected analysis (Lemma 6 discussion).
+
+Section 2's skeleton algorithm is a distributed, contracted descendant of
+this procedure, so it doubles as a cross-validation baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.spanner.spanner import Spanner
+from repro.util.rng import SeedLike, ensure_rng
+
+
+def baswana_sen_spanner(
+    graph: Graph, k: int, seed: SeedLike = None
+) -> Spanner:
+    """Build a (2k - 1)-spanner with expected size ~ k n^{1 + 1/k}.
+
+    ``k >= 1``; ``k = 1`` returns the whole graph (a 1-spanner).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    rng = ensure_rng(seed)
+    n = graph.n
+    if n == 0:
+        return Spanner(graph, set(), {"algorithm": "baswana-sen", "k": k})
+    sample_p = n ** (-1.0 / k)
+
+    spanner_edges: Set[Edge] = set()
+    # Active vertices and their cluster centers; clusters at round i have
+    # radius <= i in the original graph (no contraction here).
+    cluster_of: Dict[int, int] = {v: v for v in graph.vertices()}
+    active: Set[int] = set(graph.vertices())
+
+    for _ in range(k - 1):
+        centers = sorted(set(cluster_of[v] for v in active))
+        sampled = {c for c in centers if rng.random() < sample_p}
+        new_cluster_of: Dict[int, int] = {}
+        removed: List[int] = []
+        for v in sorted(active):
+            if cluster_of[v] in sampled:
+                new_cluster_of[v] = cluster_of[v]
+                continue
+            # Candidate edge per adjacent *active* cluster (min-id nbr).
+            candidate: Dict[int, int] = {}
+            for u in graph.neighbors(v):
+                if u not in active:
+                    continue
+                c = cluster_of[u]
+                if c == cluster_of[v]:
+                    continue
+                if c not in candidate or u < candidate[c]:
+                    candidate[c] = u
+            sampled_adjacent = sorted(c for c in candidate if c in sampled)
+            if sampled_adjacent:
+                target = sampled_adjacent[0]
+                spanner_edges.add(canonical_edge(v, candidate[target]))
+                new_cluster_of[v] = target
+            else:
+                for c in sorted(candidate):
+                    spanner_edges.add(canonical_edge(v, candidate[c]))
+                removed.append(v)
+        for v in removed:
+            active.discard(v)
+        cluster_of = new_cluster_of
+
+    # Phase 2: vertex-cluster joining among the survivors.
+    for v in sorted(active):
+        candidate: Dict[int, int] = {}
+        for u in graph.neighbors(v):
+            if u not in active:
+                continue
+            c = cluster_of[u]
+            if c == cluster_of[v]:
+                continue
+            if c not in candidate or u < candidate[c]:
+                candidate[c] = u
+        for c in sorted(candidate):
+            spanner_edges.add(canonical_edge(v, candidate[c]))
+
+    return Spanner(
+        graph,
+        spanner_edges,
+        {"algorithm": "baswana-sen", "k": k, "sample_p": sample_p},
+    )

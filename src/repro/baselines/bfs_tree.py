@@ -1,0 +1,29 @@
+"""BFS spanning forest — the minimum-size connectivity baseline.
+
+n - 1 edges per component, no distortion guarantee beyond twice the
+eccentricity of the root; it anchors the size axis of Fig. 1 ("at the very
+least the substitute should preserve connectivity").
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.graphs.properties import bfs_parents
+from repro.spanner.spanner import Spanner
+
+
+def bfs_forest(graph: Graph) -> Spanner:
+    """BFS spanning forest rooted at each component's minimum-id vertex."""
+    kept: Set[Edge] = set()
+    seen: Set[int] = set()
+    for root in sorted(graph.vertices()):
+        if root in seen:
+            continue
+        _, parent = bfs_parents(graph, root)
+        seen.update(parent)
+        for v, par in parent.items():
+            if par is not None:
+                kept.add(canonical_edge(v, par))
+    return Spanner(graph, kept, {"algorithm": "bfs-forest"})

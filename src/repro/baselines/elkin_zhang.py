@@ -1,0 +1,187 @@
+"""A superclustering (1+eps, beta)-spanner in the Elkin–Zhang style.
+
+Fig. 1 compares against Elkin and Zhang's (1+eps, beta)-spanners [24]
+(see also Elkin–Peleg [19, 23]).  This is a simplified but real
+implementation of the superclustering template those constructions share:
+
+* level 0: every vertex is a singleton cluster (its own center);
+* at level i, each live cluster is *sampled* with probability q_i.
+  An unsampled cluster whose center sees a sampled center within the
+  join radius d_i merges into the nearest one (the connecting shortest
+  path enters the spanner, keeping every cluster spanned by a tree);
+  an unsampled cluster with no sampled center nearby is *finalized*:
+  its center connects by shortest paths to every live center within the
+  interconnection radius ell_i ~ d_i / eps (plus, as a connectivity
+  safety net, to its single nearest center beyond that radius);
+* survivors of the last level interconnect pairwise.
+
+Far pairs cross finalized levels through interconnection paths whose
+detours are an eps-fraction of the distance travelled — the (1 + eps)
+term — while near pairs pay at most the accumulated cluster radii — the
+beta term.  The paper's point (reproduced in bench E15) is that the
+Fibonacci spanner achieves a much better beta at comparable size; this
+module supplies the comparison target.  DESIGN.md documents the
+simplifications relative to [24].
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set
+
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.graphs.properties import bfs_parents, multi_source_bfs
+from repro.spanner.spanner import Spanner
+from repro.util.rng import SeedLike, ensure_rng
+
+
+def _add_parent_path(
+    parent: Dict[int, Optional[int]],
+    start: int,
+    spanner: Set[Edge],
+) -> None:
+    """Add the tree path from ``start`` to its root to the spanner."""
+    node = start
+    while parent.get(node) is not None:
+        spanner.add(canonical_edge(node, parent[node]))
+        node = parent[node]
+
+
+def _interconnect(
+    graph: Graph,
+    center: int,
+    targets: Set[int],
+    radius: float,
+    spanner: Set[Edge],
+    nearest_fallback: bool,
+) -> None:
+    """Connect ``center`` to every target within ``radius`` by shortest
+    paths; with ``nearest_fallback``, also to the nearest target beyond."""
+    dist, parent = bfs_parents(graph, center)
+    reached = [
+        (d, v) for v, d in dist.items() if v in targets and v != center
+    ]
+    added_any = False
+    for d, v in sorted(reached):
+        if d <= radius:
+            _add_parent_path(parent, v, spanner)
+            added_any = True
+    if nearest_fallback and not added_any and reached:
+        _, nearest = min(reached)
+        _add_parent_path(parent, nearest, spanner)
+
+
+def elkin_zhang_spanner(
+    graph: Graph,
+    eps: float = 0.5,
+    levels: int = 3,
+    seed: SeedLike = None,
+    sample_probabilities: Optional[List[float]] = None,
+) -> Spanner:
+    """Build a (1+eps, beta)-spanner by iterated superclustering.
+
+    ``levels`` controls the trade: more levels -> sparser but larger
+    beta (the EZ signature).  Default sampling probabilities are
+    q_i = n^{-1/2^{levels-i}} — high at low levels (so almost every
+    cluster joins rather than finalizing while interconnection is still
+    expensive) and low at the top (so few survivors remain for the final
+    pairwise interconnection).
+    """
+    if not 0 < eps <= 1:
+        raise ValueError("eps must be in (0, 1]")
+    if levels < 1:
+        raise ValueError("need at least one level")
+    rng = ensure_rng(seed)
+    n = max(2, graph.n)
+    if sample_probabilities is None:
+        sample_probabilities = [
+            n ** (-1.0 / 2 ** (levels - i)) for i in range(levels)
+        ]
+    if len(sample_probabilities) != levels:
+        raise ValueError("need one probability per level")
+
+    spanner: Set[Edge] = set()
+    centers: Set[int] = set(graph.vertices())
+    radius = 0.0
+    level_stats = []
+
+    for i in range(levels):
+        q = sample_probabilities[i]
+        sampled = {c for c in sorted(centers) if rng.random() < q}
+        # Join radius: merging may not inflate distances beyond an
+        # eps-fraction later, so it scales with the current radius.
+        join_radius = math.ceil((2 * radius + 1) / 1.0)
+        interconnect_radius = math.ceil(4 * (radius + 1) / eps)
+
+        if sampled:
+            dist, root, parent = multi_source_bfs(
+                graph, sampled, cutoff=join_radius
+            )
+        else:
+            dist, root, parent = {}, {}, {}
+
+        joined = finalized = 0
+        next_centers: Set[int] = set(sampled)
+        live_targets = centers
+        for c in sorted(centers - sampled):
+            if c in dist:  # a sampled center is within the join radius
+                _add_parent_path(parent, c, spanner)
+                joined += 1
+            else:
+                _interconnect(
+                    graph, c, live_targets, interconnect_radius,
+                    spanner, nearest_fallback=True,
+                )
+                finalized += 1
+        radius = radius + join_radius + radius  # Lemma 2-style doubling
+        level_stats.append(
+            {"level": i, "sampled": len(sampled), "joined": joined,
+             "finalized": finalized, "q": q}
+        )
+        centers = next_centers
+        if not centers:
+            break
+
+    # Survivors interconnect pairwise (they are few by construction).
+    for c in sorted(centers):
+        _interconnect(
+            graph, c, centers, float("inf"), spanner,
+            nearest_fallback=False,
+        )
+
+    return Spanner(
+        graph,
+        spanner,
+        {
+            "algorithm": "elkin-zhang-spanner",
+            "eps": eps,
+            "levels": levels,
+            "survivors": len(centers),
+            "level_stats": level_stats,
+        },
+    )
+
+
+def measured_beta(
+    graph: Graph,
+    spanner: Spanner,
+    eps: float,
+    num_sources: int = 25,
+    seed: SeedLike = None,
+) -> float:
+    """The empirical beta: max over measured pairs of
+    delta_S(u, v) - (1 + eps) * delta(u, v), floored at 0."""
+    from repro.graphs.properties import bfs_distances
+    from repro.spanner.stretch import _pick_sources
+
+    sub = spanner.subgraph()
+    beta = 0.0
+    for s in _pick_sources(graph, num_sources, seed):
+        dist_g = bfs_distances(graph, s)
+        dist_s = bfs_distances(sub, s)
+        for v, d in dist_g.items():
+            if v == s:
+                continue
+            excess = dist_s.get(v, float("inf")) - (1 + eps) * d
+            beta = max(beta, excess)
+    return beta

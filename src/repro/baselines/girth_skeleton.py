@@ -1,0 +1,41 @@
+"""Girth-based linear-size skeleton (the classical approach).
+
+"The standard method for obtaining a linear-size spanner or skeleton is to
+construct a subgraph that has girth Omega(log n)" (Sect. 2) — the strategy
+of Althöfer et al. [4] sequentially and Dubhashi et al. [18] distributively.
+We realize it with the greedy spanner at stretch 2 ceil(log2 n) - 1: the
+output has girth > 2 log n, hence O(n) edges, and O(log n) distortion.
+
+The catch the paper emphasizes: any distributed version must survey
+Theta(log n)-neighborhoods, which needs messages "linear in the size of the
+graph".  :func:`required_neighborhood_radius` reports that radius so the
+Fig. 1 bench can show the cost next to the skeleton algorithm's.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines.greedy import greedy_spanner
+from repro.graphs.graph import Graph
+from repro.spanner.spanner import Spanner
+
+
+def girth_skeleton(graph: Graph) -> Spanner:
+    """Linear-size O(log n)-spanner via girth > 2 log n."""
+    n = max(2, graph.n)
+    stretch = 2 * math.ceil(math.log2(n)) - 1
+    spanner = greedy_spanner(graph, stretch)
+    spanner.metadata.update(
+        {
+            "algorithm": "girth-skeleton",
+            "stretch": stretch,
+            "required_neighborhood_radius": required_neighborhood_radius(n),
+        }
+    )
+    return spanner
+
+
+def required_neighborhood_radius(n: int) -> int:
+    """The Theta(log n) survey radius a distributed variant would need."""
+    return 2 * math.ceil(math.log2(max(2, n))) - 1

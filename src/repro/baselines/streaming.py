@@ -1,0 +1,180 @@
+"""Streaming and fully-dynamic (2k-1)-spanners (related work, Sect. 1.4).
+
+The paper surveys Elkin [21] and Baswana [5] for streaming spanners
+("edges arrive one at a time and the algorithm can only keep O(n^{1+1/k})
+edges in memory") and Baswana–Sarkar / Elkin [8, 20, 21] for fully
+dynamic maintenance.  This module provides the classical baseline both
+lines refine:
+
+* :class:`StreamingSpanner` — one pass over the edge stream; an edge is
+  kept iff the spanner built so far has no path of length <= 2k - 1
+  between its endpoints.  The output has girth > 2k, hence
+  O(n^{1+1/k}) edges, and is a (2k - 1)-spanner of the streamed graph.
+
+* :class:`DynamicSpanner` — insertions use the same rule; deleting a
+  non-spanner edge is free, and deleting a spanner edge triggers a local
+  repair: the affected endpoints re-examine their remaining incident
+  host edges and re-insert those the stretch invariant now demands.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Optional, Set
+
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.spanner.spanner import Spanner
+
+
+class StreamingSpanner:
+    """One-pass (2k-1)-spanner over an edge stream.
+
+    Memory: only the kept edges (plus the vertex set); the host graph is
+    never stored — exactly the streaming model of [5, 21].
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.threshold = 2 * k - 1
+        self._adj: Dict[int, Set[int]] = {}
+        self.kept: Set[Edge] = set()
+        self.edges_seen = 0
+
+    def _bounded_distance(self, u: int, v: int) -> Optional[int]:
+        if u not in self._adj or v not in self._adj:
+            return None
+        dist = {u: 0}
+        queue = deque([u])
+        while queue:
+            x = queue.popleft()
+            d = dist[x] + 1
+            if d > self.threshold:
+                continue
+            for y in self._adj[x]:
+                if y == v:
+                    return d
+                if y not in dist:
+                    dist[y] = d
+                    queue.append(y)
+        return None
+
+    def offer(self, u: int, v: int) -> bool:
+        """Process one stream edge; returns whether it was kept."""
+        self.edges_seen += 1
+        if u == v:
+            return False
+        edge = canonical_edge(u, v)
+        if edge in self.kept:
+            return False
+        if self._bounded_distance(u, v) is not None:
+            return False
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+        self.kept.add(edge)
+        return True
+
+    def consume(self, edges: Iterable[Edge]) -> "StreamingSpanner":
+        for u, v in edges:
+            self.offer(u, v)
+        return self
+
+    @property
+    def size(self) -> int:
+        return len(self.kept)
+
+    def to_spanner(self, host: Graph) -> Spanner:
+        """Package the kept edges against the (fully streamed) host."""
+        return Spanner(
+            host,
+            self.kept,
+            {
+                "algorithm": "streaming-spanner",
+                "k": self.k,
+                "edges_seen": self.edges_seen,
+            },
+        )
+
+
+class DynamicSpanner:
+    """Fully-dynamic (2k-1)-spanner with lazy local repair on deletion.
+
+    Maintains the invariant: for every host edge (u, v), the spanner has
+    delta_S(u, v) <= 2k - 1.  Insertions use the streaming rule.  When a
+    *spanner* edge is deleted, the invariant may break for host edges
+    that routed through it; the repair re-offers every host edge incident
+    to the deleted edge's endpoints and, if any still violates the
+    invariant, falls back to re-offering all host edges (rare; counted).
+
+    This is the semantic baseline against which [8, 20, 21]'s
+    polylog-update-time structures are optimizations.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.host = Graph()
+        self._stream = StreamingSpanner(k)
+        self.full_rebuilds = 0
+
+    @property
+    def spanner_edges(self) -> Set[Edge]:
+        return set(self._stream.kept)
+
+    @property
+    def size(self) -> int:
+        return self._stream.size
+
+    def insert(self, u: int, v: int) -> bool:
+        """Insert a host edge; returns whether the spanner kept it."""
+        if not self.host.add_edge(u, v):
+            return False
+        return self._stream.offer(u, v)
+
+    def delete(self, u: int, v: int) -> None:
+        """Delete a host edge, repairing the spanner if needed."""
+        if not self.host.remove_edge(u, v):
+            return
+        edge = canonical_edge(u, v)
+        if edge not in self._stream.kept:
+            return
+        self._stream.kept.discard(edge)
+        self._stream._adj[u].discard(v)
+        self._stream._adj[v].discard(u)
+        # Local repair first: host edges at the endpoints are the usual
+        # casualties.  A distant host edge may also have routed through
+        # the deleted edge, so verify the global invariant and rebuild
+        # when local repair was not enough (counted; rare in practice).
+        for x in (u, v):
+            for y in sorted(self.host.neighbors(x)):
+                if canonical_edge(x, y) not in self._stream.kept:
+                    self._stream.offer(x, y)
+        if not self.check_invariant():
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        self.full_rebuilds += 1
+        self._stream = StreamingSpanner(self.k).consume(
+            sorted(self.host.edges())
+        )
+
+    def check_invariant(self) -> bool:
+        """Every host edge is spanned within 2k - 1 (test hook)."""
+        return all(
+            canonical_edge(u, v) in self._stream.kept
+            or self._stream._bounded_distance(u, v) is not None
+            for u, v in self.host.edges()
+        )
+
+    def to_spanner(self) -> Spanner:
+        return Spanner(
+            self.host,
+            self._stream.kept,
+            {
+                "algorithm": "dynamic-spanner",
+                "k": self.k,
+                "full_rebuilds": self.full_rebuilds,
+            },
+        )

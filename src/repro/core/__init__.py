@@ -1,0 +1,31 @@
+"""The paper's contributions: skeleton algorithm, Fibonacci spanners,
+lower-bound adversary harness."""
+
+from repro.core.clustering import Clustering
+from repro.core.expand import ExpandResult, expand
+from repro.core.schedule import Round, build_schedule, exact_form_schedule
+from repro.core.skeleton import SkeletonTrace, build_skeleton
+from repro.core.fibonacci import FibonacciParams, build_fibonacci_spanner
+from repro.core.combined import build_combined_spanner
+from repro.core.lower_bounds import (
+    AdversaryOutcome,
+    run_locality_adversary,
+    tau_round_spanner,
+)
+
+__all__ = [
+    "Clustering",
+    "ExpandResult",
+    "expand",
+    "Round",
+    "build_schedule",
+    "exact_form_schedule",
+    "SkeletonTrace",
+    "build_skeleton",
+    "FibonacciParams",
+    "build_fibonacci_spanner",
+    "build_combined_spanner",
+    "AdversaryOutcome",
+    "run_locality_adversary",
+    "tau_round_spanner",
+]

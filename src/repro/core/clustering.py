@@ -1,0 +1,62 @@
+"""Complete clusterings of (contracted) graphs.
+
+A clustering C = {C_j} is a set of disjoint vertex subsets; it is *complete*
+when every vertex appears in some cluster (Sect. 2.1).  Our clusters are
+identified by their center vertex, matching the paper's invariant that each
+cluster's preimage is spanned by a tree of spanner edges centered at some
+vertex.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set
+
+
+class Clustering:
+    """A complete clustering: every vertex maps to its cluster's center."""
+
+    __slots__ = ("cluster_of",)
+
+    def __init__(self, cluster_of: Dict[int, int]) -> None:
+        self.cluster_of = cluster_of
+
+    @classmethod
+    def trivial(cls, vertices: Iterable[int]) -> "Clustering":
+        """The singleton clustering {{v} | v in V} starting every round."""
+        return cls({v: v for v in vertices})
+
+    def center(self, v: int) -> int:
+        """The center (identifier) of the cluster containing ``v``."""
+        return self.cluster_of[v]
+
+    def members(self) -> Dict[int, List[int]]:
+        """Invert to center -> sorted member list."""
+        out: Dict[int, List[int]] = {}
+        for v, c in self.cluster_of.items():
+            out.setdefault(c, []).append(v)
+        for c in out:
+            out[c].sort()
+        return out
+
+    def centers(self) -> Set[int]:
+        return set(self.cluster_of.values())
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.centers())
+
+    def is_complete_over(self, vertices: Iterable[int]) -> bool:
+        """Whether every vertex in ``vertices`` belongs to some cluster."""
+        return all(v in self.cluster_of for v in vertices)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.cluster_of)
+
+    def __len__(self) -> int:
+        return len(self.cluster_of)
+
+    def __repr__(self) -> str:
+        return (
+            f"Clustering(vertices={len(self.cluster_of)}, "
+            f"clusters={self.num_clusters})"
+        )

@@ -1,0 +1,127 @@
+"""Corollary 1/2: the combined skeleton + Fibonacci spanner.
+
+Theorem 7's bound for very close vertices is 2^{o+1} ~ (log n)^1.44 at the
+sparsest order.  The paper fixes this by *unioning* a Fibonacci spanner
+with a Theorem 2 skeleton: "Theorem 2 will give us an
+O(log n / log log log n)-spanner with size O(n log log n).  By including
+such a spanner with a Fibonacci spanner we obtain the distortion bounds
+stated in Corollary 1."
+
+The result is simultaneously (Corollary 2):
+
+* an O(log n / log log log n)-spanner (from the skeleton part),
+* a (3(log_phi log n + t), beta_1)-spanner,
+* a (3 + rho, beta_2)-spanner,
+* and a (1 + eps', beta_3)-spanner for every eps' >= eps
+  (all from the Fibonacci part),
+
+with size O(n (eps^-1 log log n)^phi).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.fibonacci import build_fibonacci_spanner
+from repro.core.skeleton import build_skeleton
+from repro.graphs.graph import Graph
+from repro.spanner.spanner import Spanner
+from repro.util.rng import SeedLike, ensure_rng
+
+
+def build_combined_spanner(
+    graph: Graph,
+    order: Optional[int] = None,
+    eps: float = 0.5,
+    ell: Optional[int] = None,
+    probabilities: Optional[Sequence[float]] = None,
+    D: int = 4,
+    seed: SeedLike = None,
+) -> Spanner:
+    """Union a Theorem 2 skeleton with a Fibonacci spanner (Corollary 1).
+
+    The Fibonacci parameters (``order``, ``eps``, ``ell``,
+    ``probabilities``) and the skeleton density ``D`` are forwarded to the
+    respective constructions; both consume independent streams of the same
+    seed.  The union inherits the skeleton's uniform multiplicative bound
+    *and* the Fibonacci staged bounds, at the cost of a + O(n) size term.
+    """
+    rng = ensure_rng(seed)
+    fib_seed = rng.getrandbits(48)
+    skel_seed = rng.getrandbits(48)
+    fib = build_fibonacci_spanner(
+        graph,
+        order=order,
+        eps=eps,
+        ell=ell,
+        probabilities=probabilities,
+        seed=fib_seed,
+    )
+    skeleton = build_skeleton(graph, D=D, seed=skel_seed)
+    metadata = {
+        "algorithm": "combined-spanner",
+        "fibonacci_size": fib.size,
+        "skeleton_size": skeleton.size,
+        "order": fib.metadata["order"],
+        "ell": fib.metadata["ell"],
+        "eps": eps,
+        "D": D,
+        "level_sizes": fib.metadata["level_sizes"],
+    }
+    return Spanner(graph, fib.edges | skeleton.edges, metadata)
+
+
+def distributed_combined_spanner(
+    graph: Graph,
+    order: Optional[int] = None,
+    eps: float = 0.5,
+    ell: Optional[int] = None,
+    t: Optional[float] = None,
+    D: int = 4,
+    seed: SeedLike = None,
+) -> Spanner:
+    """Corollary 2, distributed: union of the two protocols' outputs.
+
+    Both constructions run as message-passing protocols; the metadata
+    aggregates their :class:`NetworkStats` (the rounds add — the paper
+    runs them one after the other) under ``"network_stats"``.
+    """
+    from repro.distributed.fibonacci_protocol import (
+        distributed_fibonacci_spanner,
+    )
+    from repro.distributed.skeleton_protocol import distributed_skeleton
+
+    rng = ensure_rng(seed)
+    fib = distributed_fibonacci_spanner(
+        graph, order=order, eps=eps, ell=ell, t=t,
+        seed=rng.getrandbits(48),
+    )
+    skeleton = distributed_skeleton(
+        graph, D=D, eps=eps, seed=rng.getrandbits(48)
+    )
+    stats = fib.metadata["network_stats"].merged_with(
+        skeleton.metadata["network_stats"]
+    )
+    metadata = {
+        "algorithm": "combined-spanner-distributed",
+        "fibonacci_size": fib.size,
+        "skeleton_size": skeleton.size,
+        "order": fib.metadata["order"],
+        "ell": fib.metadata["ell"],
+        "eps": eps,
+        "D": D,
+        "network_stats": stats,
+        "budgeted_rounds": (
+            skeleton.metadata["budgeted_rounds"]
+            + fib.metadata["network_stats"].rounds
+        ),
+    }
+    return Spanner(graph, fib.edges | skeleton.edges, metadata)
+
+
+def corollary1_uniform_bound(n: int, D: int = 4) -> float:
+    """The uniform multiplicative bound the skeleton part contributes
+    (Theorem 2's distortion, the Corollary 1 first line)."""
+    from repro.analysis.theory import skeleton_distortion_bound
+
+    return skeleton_distortion_bound(n, D)

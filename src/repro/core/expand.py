@@ -1,0 +1,120 @@
+"""The Expand procedure (Fig. 2) — the engine of the Section 2 algorithm.
+
+``Expand(G_in, C_in, p)`` samples each cluster of the complete clustering
+``C_in`` with probability ``p``, then grows the sampled clusters by one hop:
+
+* a vertex whose own cluster was sampled stays put (contributes no edge);
+* a vertex adjacent to a sampled cluster joins one of them, and the
+  connecting edge enters the spanner (line 4);
+* a vertex adjacent only to unsampled clusters contributes one edge to
+  *each* adjacent cluster (line 7) and is marked **dead** — removed from
+  further consideration.
+
+The output clustering is complete over the surviving vertices and its
+cluster radii (w.r.t. the input graph) are one larger than the input's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.core.clustering import Clustering
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.util.rng import SeedLike, ensure_rng
+
+#: selected edges are (work-graph edge, reason); reasons match Fig. 2 lines.
+JOIN = "join"   # line 4: v joins a sampled cluster
+DEATH = "death"  # line 7: v dies, one edge per adjacent cluster
+
+
+@dataclass
+class ExpandResult:
+    """Everything a caller needs after one Expand call."""
+
+    clustering: Clustering
+    #: clusters sampled into the output clustering (by center id).
+    sampled: Set[int]
+    #: vertices marked dead in this call.
+    died: List[int]
+    #: line-4 edges (v joined a sampled cluster via this edge).
+    join_edges: List[Edge] = field(default_factory=list)
+    #: line-7 edges (one per adjacent cluster of a dying vertex).
+    death_edges: List[Edge] = field(default_factory=list)
+
+    @property
+    def selected_edges(self) -> List[Edge]:
+        """All spanner edges selected by this call (work-graph edges)."""
+        return self.join_edges + self.death_edges
+
+
+def expand(
+    graph: Graph,
+    clustering: Clustering,
+    p: float,
+    seed: SeedLike = None,
+    sampler=None,
+) -> ExpandResult:
+    """One call to Expand on (``graph``, ``clustering``) with probability ``p``.
+
+    ``clustering`` must be complete over ``graph``'s vertices.  ``p = 0``
+    kills every vertex (the paper forces this in the final iteration).
+    Vertex iteration order and tie-breaks are deterministic given the seed,
+    so sequential and distributed implementations can be cross-validated;
+    passing ``sampler`` (center -> bool) replaces the seeded coin flips
+    with shared-randomness decisions, making the two *identical*.
+    """
+    if not 0 <= p < 1:
+        raise ValueError("sampling probability must be in [0, 1)")
+    rng = ensure_rng(seed)
+
+    members = clustering.members()
+    # Sample each cluster independently with probability p.  Iterating in
+    # sorted center order makes the draw reproducible for a given seed.
+    if sampler is not None:
+        sampled: Set[int] = {c for c in members if p > 0 and sampler(c)}
+    else:
+        sampled = {c for c in sorted(members) if p > 0 and rng.random() < p}
+
+    new_cluster_of: Dict[int, int] = {}
+    died: List[int] = []
+    join_edges: List[Edge] = []
+    death_edges: List[Edge] = []
+
+    for v in sorted(graph.vertices()):
+        own = clustering.center(v)
+        if own in sampled:
+            # Own cluster survives; v stays with it and contributes nothing.
+            new_cluster_of[v] = own
+            continue
+        # Group v's incident edges by the neighbor's cluster, remembering
+        # the minimum-id neighbor per cluster as the candidate edge ("some
+        # edge from v to C_i" — any one edge suffices; we pick the smallest
+        # for determinism).
+        candidate: Dict[int, int] = {}
+        for u in graph.neighbors(v):
+            c = clustering.center(u)
+            if c == own:
+                continue
+            if c not in candidate or u < candidate[c]:
+                candidate[c] = u
+        sampled_adjacent = sorted(c for c in candidate if c in sampled)
+        if sampled_adjacent:
+            # Line 4: join the sampled cluster (smallest center id).
+            target = sampled_adjacent[0]
+            join_edges.append(canonical_edge(v, candidate[target]))
+            new_cluster_of[v] = target
+        else:
+            # Line 7: no sampled cluster in sight — dump one edge per
+            # adjacent cluster and die.
+            for c in sorted(candidate):
+                death_edges.append(canonical_edge(v, candidate[c]))
+            died.append(v)
+
+    return ExpandResult(
+        clustering=Clustering(new_cluster_of),
+        sampled=sampled,
+        died=died,
+        join_edges=join_edges,
+        death_edges=death_edges,
+    )

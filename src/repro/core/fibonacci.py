@@ -1,0 +1,204 @@
+"""Fibonacci spanners (Section 4).
+
+The construction samples a vertex hierarchy V = V_0 ⊇ V_1 ⊇ ... ⊇ V_o
+(⊇ V_{o+1} = ∅) with the golden-ratio probabilities of Lemma 8, then takes
+
+  S_0 = ⋃_{v ∈ V}       ⋃_{u ∈ B_{1,ℓ}(v)}   P(v, u)
+  S_i = ⋃_{v ∈ V_{i-1}} ⋃_{u ∈ B_{i+1,ℓ}(v)} P(v, u)
+        ∪ ⋃_{v : δ(v, p_i(v)) ≤ ℓ^{i-1}}     P(v, p_i(v))
+
+where B_{i+1,ℓ}(v) is the set of V_i-vertices in the ball of radius
+min(δ(v, V_{i+1}) - 1, ℓ^i) around v, and p_i(v) is the nearest V_i vertex
+(minimum identifier among ties).
+
+The resulting spanner's multiplicative distortion improves with distance
+through the four stages of Theorem 7; the size is
+O(o n + (o/eps)^phi n^{1 + 1/(F_{o+3}-1)}) (Lemma 8).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.analysis.theory import (
+    fib_sampling_probabilities,
+    fibonacci_spanner_order_max,
+)
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.graphs.properties import multi_source_bfs
+from repro.spanner.spanner import Spanner
+from repro.util.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class FibonacciParams:
+    """Resolved construction parameters (order, eps, ell, probabilities)."""
+
+    order: int
+    eps: float
+    ell: int
+    probabilities: List[float] = field(default_factory=list)
+
+    @classmethod
+    def resolve(
+        cls,
+        n: int,
+        order: Optional[int] = None,
+        eps: float = 0.5,
+        ell: Optional[int] = None,
+        probabilities: Optional[Sequence[float]] = None,
+    ) -> "FibonacciParams":
+        """Fill in defaults: o = log_phi log n, ell = 3o/eps + 2 (Thm 7)."""
+        if not 0 < eps <= 1:
+            raise ValueError("eps must be in (0, 1]")
+        o = order if order is not None else fibonacci_spanner_order_max(n)
+        o = max(1, o)
+        e = ell if ell is not None else math.ceil(3 * o / eps) + 2
+        if e <= 1:
+            raise ValueError("ell must be at least 2")
+        if probabilities is not None:
+            qs = list(probabilities)
+            if len(qs) != o:
+                raise ValueError("need exactly `order` probabilities")
+        else:
+            qs = fib_sampling_probabilities(max(2, n), o, e)
+        return cls(order=o, eps=eps, ell=e, probabilities=qs)
+
+
+def sample_levels(
+    graph: Graph, params: FibonacciParams, seed: SeedLike = None
+) -> List[Set[int]]:
+    """Sample the hierarchy V_0 ⊇ V_1 ⊇ ... ⊇ V_o.
+
+    V_i is drawn from V_{i-1} with probability q_i / q_{i-1}, so that
+    Pr[v ∈ V_i] = q_i (Sect. 4.1).  V_0 = V; V_{o+1} = ∅ is implicit.
+    """
+    rng = ensure_rng(seed)
+    levels: List[Set[int]] = [set(graph.vertices())]
+    q_prev = 1.0
+    for q in params.probabilities:
+        keep_p = min(1.0, q / q_prev) if q_prev > 0 else 0.0
+        levels.append(
+            {v for v in sorted(levels[-1]) if rng.random() < keep_p}
+        )
+        q_prev = q
+    return levels
+
+
+def _ball_paths(
+    graph: Graph,
+    source: int,
+    targets: Set[int],
+    radius: float,
+    spanner_edges: Set[Edge],
+) -> int:
+    """Add P(source, u) for each target u with 1 <= δ(source, u) <= radius.
+
+    Runs a truncated BFS and walks parent pointers back from each target.
+    Returns the number of targets connected.
+    """
+    if radius < 1:
+        return 0
+    dist = {source: 0}
+    parent: Dict[int, int] = {}
+    queue = deque([source])
+    found: List[int] = []
+    while queue:
+        x = queue.popleft()
+        if dist[x] >= radius:
+            continue
+        for y in graph.neighbors(x):
+            if y not in dist:
+                dist[y] = dist[x] + 1
+                parent[y] = x
+                queue.append(y)
+                if y in targets:
+                    found.append(y)
+    for u in found:
+        node = u
+        while node != source:
+            prev = parent[node]
+            spanner_edges.add(canonical_edge(node, prev))
+            node = prev
+    return len(found)
+
+
+def build_fibonacci_spanner(
+    graph: Graph,
+    order: Optional[int] = None,
+    eps: float = 0.5,
+    ell: Optional[int] = None,
+    probabilities: Optional[Sequence[float]] = None,
+    seed: SeedLike = None,
+    levels: Optional[List[Set[int]]] = None,
+) -> Spanner:
+    """Build a Fibonacci spanner of ``graph`` (Theorem 7).
+
+    ``order`` defaults to log_phi log n (the sparsest setting); ``ell``
+    defaults to 3 * order / eps + 2.  ``levels`` injects a pre-sampled
+    hierarchy (used by tests and the distributed cross-validation).
+    """
+    params = FibonacciParams.resolve(
+        graph.n, order=order, eps=eps, ell=ell, probabilities=probabilities
+    )
+    if levels is None:
+        levels = sample_levels(graph, params, seed)
+    else:
+        if len(levels) != params.order + 1:
+            raise ValueError("levels must have order + 1 entries")
+    o = params.order
+    ell_val = params.ell
+
+    spanner_edges: Set[Edge] = set()
+    level_edge_counts: List[int] = []
+    level_sizes = [len(lv) for lv in levels]
+
+    # Distance fields δ(·, V_i) with min-id parents, for i = 1..o.
+    # (δ(·, V_{o+1}) = ∞ since V_{o+1} = ∅.)
+    dist_to: List[Dict[int, int]] = [dict()] * (o + 2)
+    root_of: List[Dict[int, int]] = [dict()] * (o + 1)
+    parent_of: List[Dict[int, Optional[int]]] = [dict()] * (o + 1)
+    for i in range(1, o + 1):
+        d, r, par = multi_source_bfs(graph, levels[i])
+        dist_to[i], root_of[i], parent_of[i] = d, r, par
+    dist_to[o + 1] = {}
+
+    for i in range(0, o + 1):
+        before = len(spanner_edges)
+        sources = levels[i - 1] if i >= 1 else levels[0]
+        targets = levels[i] if i <= o else set()
+        next_dist = dist_to[i + 1] if i + 1 <= o else {}
+
+        # Ball part: connect each source to every target in B_{i+1,ell}.
+        cap = float(ell_val) ** i
+        for v in sorted(sources):
+            d_next = next_dist.get(v, math.inf) if i < o else math.inf
+            radius = min(cap, d_next - 1)
+            _ball_paths(graph, v, targets, radius, spanner_edges)
+
+        # Forest part (i >= 1): P(v, p_i(v)) whenever
+        # δ(v, p_i(v)) <= ell^{i-1}.  The union of these shortest paths is
+        # a forest (Lemma 7); adding each qualifying vertex's parent edge
+        # realizes exactly that forest.
+        if i >= 1:
+            forest_cap = float(ell_val) ** (i - 1)
+            for v, d in dist_to[i].items():
+                if 1 <= d <= forest_cap:
+                    spanner_edges.add(
+                        canonical_edge(v, parent_of[i][v])
+                    )
+        level_edge_counts.append(len(spanner_edges) - before)
+
+    metadata = {
+        "algorithm": "fibonacci-spanner",
+        "order": o,
+        "eps": params.eps,
+        "ell": ell_val,
+        "probabilities": params.probabilities,
+        "level_sizes": level_sizes,
+        "level_edge_counts": level_edge_counts,
+    }
+    return Spanner(graph, spanner_edges, metadata)

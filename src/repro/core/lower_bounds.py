@@ -1,0 +1,166 @@
+"""Empirical harness for the Section 3 lower bounds.
+
+The proofs of Theorems 3–6 argue about *any* algorithm that (a) runs for
+``tau`` rounds and (b) outputs at most ``n^{1+delta}`` edges in expectation
+on G(tau, chi, mu):
+
+1. only block edges may be discarded — chain edges look cycle-free within
+   every ``tau``-neighborhood, so a correct algorithm must keep them;
+2. by symmetry (identical unlabeled ``tau``-neighborhoods + randomly
+   permuted identifiers) every block edge is discarded with the *same*
+   probability, which the size budget forces to be at least
+   ``p = 1 - 1/c - 1/(c mu)``.
+
+:func:`tau_round_spanner` realizes the best such algorithm the adversary
+permits: keep all chains, keep each block edge i.i.d. with probability
+``1 - p``.  :func:`run_locality_adversary` repeats it and compares measured
+additive distortion on the witness pair against the theorems' predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.graphs.lower_bound import LowerBoundGraph
+from repro.graphs.properties import bfs_distances
+from repro.spanner.spanner import Spanner
+from repro.util.rng import SeedLike, ensure_rng
+
+
+def forced_discard_probability(lbg: LowerBoundGraph, c: float) -> float:
+    """p = 1 - 1/c - 1/(c mu): the discard rate a size budget of
+    ``m / c`` block edges forces (Sect. 3)."""
+    if c < 1:
+        raise ValueError("c must be >= 1")
+    return max(0.0, 1 - 1 / c - 1 / (c * lbg.mu))
+
+
+def tau_round_spanner(
+    lbg: LowerBoundGraph,
+    discard_probability: float,
+    seed: SeedLike = None,
+) -> Spanner:
+    """The canonical tau-round algorithm output on G(tau, chi, mu).
+
+    Keeps every chain edge (forced by correctness within tau rounds) and
+    discards each block edge independently with ``discard_probability``
+    (forced to be uniform across block edges by the symmetry argument).
+
+    Correctness patch: a vertex whose block edges were *all* discarded
+    would be cut off from its block, which no correct spanner algorithm
+    may do — such a vertex keeps one edge to its block's min-id
+    counterpart.  At the probabilities the theorems force (p <= 1 - 1/c)
+    with chi >= 6 this fires with probability p^chi per vertex and barely
+    perturbs the statistics.
+    """
+    if not 0 <= discard_probability <= 1:
+        raise ValueError("discard probability must be in [0, 1]")
+    rng = ensure_rng(seed)
+    kept: Set[Edge] = set(lbg.chain_edges)
+    for e in sorted(lbg.block_edges):
+        if rng.random() >= discard_probability:
+            kept.add(e)
+    for i in range(lbg.mu):
+        lefts, rights = lbg.left[i], lbg.right[i]
+        covered = {
+            v
+            for e in kept & lbg.block_edges
+            for v in e
+            if v in set(lefts) | set(rights)
+        }
+        for v in lefts:
+            if v not in covered:
+                kept.add(canonical_edge(v, rights[0]))
+        for v in rights:
+            if v not in covered:
+                kept.add(canonical_edge(v, lefts[0]))
+    return Spanner(
+        lbg.graph,
+        kept,
+        metadata={
+            "algorithm": "tau-round-adversary",
+            "tau": lbg.tau,
+            "discard_probability": discard_probability,
+        },
+    )
+
+
+@dataclass
+class AdversaryOutcome:
+    """Aggregated measurements from repeated adversary runs."""
+
+    trials: int
+    discard_probability: float
+    #: measured / predicted expected number of discarded critical edges.
+    mean_discarded_criticals: float
+    predicted_discarded_criticals: float
+    #: measured / predicted additive distortion on the witness pair.
+    mean_additive_distortion: float
+    predicted_additive_distortion: float
+    #: measured mean spanner size (edges).
+    mean_size: float
+    witness_distance: int
+
+    @property
+    def distortion_ratio(self) -> float:
+        """measured / predicted — should hover around (or above) 1."""
+        if self.predicted_additive_distortion == 0:
+            return float("inf")
+        return (
+            self.mean_additive_distortion / self.predicted_additive_distortion
+        )
+
+
+def run_locality_adversary(
+    lbg: LowerBoundGraph,
+    c: float = 2.0,
+    trials: int = 20,
+    seed: SeedLike = None,
+    discard_probability: Optional[float] = None,
+) -> AdversaryOutcome:
+    """Measure additive distortion forced on G(tau, chi, mu).
+
+    ``c`` sets the size budget (the spanner may keep about a 1/c fraction
+    of block edges); ``discard_probability`` overrides the derived ``p``.
+    The witness pair's shortest path crosses every critical edge, and every
+    discarded critical edge costs +2 (the block detour), so the prediction
+    is ``E[additive] = 2 p mu`` — Theorem 3's engine.
+    """
+    rng = ensure_rng(seed)
+    p = (
+        discard_probability
+        if discard_probability is not None
+        else forced_discard_probability(lbg, c)
+    )
+    u, v = lbg.witness_pair()
+    base = lbg.witness_distance()
+
+    total_discarded = 0
+    total_additive = 0
+    total_size = 0
+    for _ in range(trials):
+        spanner = tau_round_spanner(lbg, p, rng)
+        discarded = sum(
+            1 for e in lbg.critical_edges if e not in spanner.edges
+        )
+        dist = bfs_distances(spanner.subgraph(), u).get(v)
+        if dist is None:
+            raise AssertionError(
+                "adversary spanner disconnected the witness pair"
+            )
+        total_discarded += discarded
+        total_additive += dist - base
+        total_size += spanner.size
+
+    return AdversaryOutcome(
+        trials=trials,
+        discard_probability=p,
+        mean_discarded_criticals=total_discarded / trials,
+        predicted_discarded_criticals=p * lbg.mu,
+        mean_additive_distortion=total_additive / trials,
+        predicted_additive_distortion=2 * p * lbg.mu,
+        mean_size=total_size / trials,
+        witness_distance=base,
+    )

@@ -1,0 +1,133 @@
+"""Round/iteration schedules for the skeleton algorithm.
+
+Two variants:
+
+* :func:`exact_form_schedule` — the clean analysis schedule of Sect. 2,
+  assuming (as the paper does "with little loss in generality") that the
+  algorithm simply runs rounds i = 0, 1, ... with sampling probability
+  1/s_i for s_i + 1 iterations (1 iteration when i = 0), until the
+  expected nominal density reaches n; the last iteration forces p = 0.
+
+* :func:`build_schedule` — Theorem 2's arbitrary-n schedule: rounds end
+  prematurely once the nominal density exceeds
+  ``log^eps n * log(log^eps n)``, after which two further rounds run with
+  p = (log n)^{-eps} — the first amplifying density to at least log n, the
+  second finishing the construction — and the very last iteration forces
+  p = 0.
+
+A schedule is a list of :class:`Round`; the runner contracts the clustering
+after each round.  The nominal density d_{i,j} (Lemma 2) is tracked purely
+from expectations — "the algorithm does not use the actual density
+n/|C_{i,j}|, only its expectation, which can be computed locally".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.theory import s_sequence
+
+
+@dataclass
+class Round:
+    """One round: ``iterations`` Expand calls with probability ``p``.
+
+    When ``final_zero`` is set the round ends with one extra Expand call at
+    p = 0, killing every remaining vertex (the paper's forced last call).
+    """
+
+    p: float
+    iterations: int
+    final_zero: bool = False
+
+    @property
+    def expand_calls(self) -> int:
+        return self.iterations + (1 if self.final_zero else 0)
+
+
+def _density_after(density: float, growth: float, iterations: int) -> float:
+    return density * growth**iterations
+
+
+def exact_form_schedule(n: int, D: int = 4) -> List[Round]:
+    """The Sect. 2 schedule (n of the special form; no density trigger)."""
+    if D < 4:
+        raise ValueError("D must be >= 4 (Lemma 1)")
+    n = max(2, n)
+    seq = s_sequence(D, max(4, n))
+    rounds: List[Round] = []
+    density = 1.0
+    for i, s_i in enumerate(seq):
+        iterations = 1 if i == 0 else s_i + 1
+        # Trim iterations that would push expected density far past n —
+        # they would be no-ops on an already fully contracted graph.
+        # (Compared in log space: s_i^iterations overflows floats.)
+        needed = iterations
+        need_log = math.log(n) - math.log(density)
+        if iterations * math.log(s_i) > need_log:
+            needed = max(1, math.ceil(need_log / math.log(s_i)))
+            needed = min(needed, iterations)
+        rounds.append(Round(p=1.0 / s_i, iterations=needed))
+        density = _density_after(density, s_i, needed)
+        if density >= n:
+            break
+    rounds[-1].final_zero = True
+    return rounds
+
+
+def build_schedule(n: int, D: int = 4, eps: float = 0.5) -> List[Round]:
+    """Theorem 2's density-triggered schedule for arbitrary n.
+
+    ``eps`` controls the maximum message length O(log^eps n) of the
+    distributed implementation and, through it, the sampling probability
+    (log n)^{-eps} of the two finishing rounds.
+    """
+    if D < 4:
+        raise ValueError("D must be >= 4 (Lemma 1)")
+    if not 0 < eps <= 1:
+        raise ValueError("eps must be in (0, 1]")
+    log_n = math.log2(max(4, n))
+    if D > log_n**eps + 1e-9:
+        raise ValueError(
+            f"Theorem 2 requires D < log^eps n = {log_n ** eps:.2f}"
+        )
+    # log^eps n, clamped >= 2 so probabilities stay in (0, 1).
+    q = max(2.0, log_n**eps)
+    threshold = q * math.log2(q)
+
+    seq = s_sequence(D, max(4, n))
+    rounds: List[Round] = []
+    density = 1.0
+    for i, s_i in enumerate(seq):
+        if density > threshold or density >= n:
+            break
+        max_iterations = 1 if i == 0 else s_i + 1
+        taken = 0
+        while taken < max_iterations:
+            taken += 1
+            density *= s_i
+            if density > threshold:
+                break  # premature round end (Theorem 2)
+        rounds.append(Round(p=1.0 / s_i, iterations=taken))
+
+    if density >= n:
+        rounds[-1].final_zero = True
+        return rounds
+
+    # Round i*+2: amplify nominal density to at least log n.
+    if density < log_n:
+        j_star2 = max(1, math.ceil(math.log(log_n / density, q)))
+        rounds.append(Round(p=1.0 / q, iterations=j_star2))
+        density = _density_after(density, q, j_star2)
+
+    # Round i*+3: finish; last iteration is the forced p = 0 call.
+    j_star3 = max(0, math.ceil(math.log(max(1.0, n / density), q)))
+    rounds.append(Round(p=1.0 / q, iterations=j_star3, final_zero=True))
+    return rounds
+
+
+def total_expand_calls(schedule: List[Round]) -> int:
+    """Total number of Expand calls a schedule performs."""
+    return sum(r.expand_calls for r in schedule)

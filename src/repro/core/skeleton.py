@@ -1,0 +1,258 @@
+"""The linear-size spanner/skeleton algorithm of Section 2.
+
+The algorithm runs a sequence of rounds; each round grows a clustering of
+the current contracted graph by repeated :func:`repro.core.expand.expand`
+calls, then contracts the final clusters into single vertices for the next
+round.  Contraction keeps the spanner size linear; its price is the
+``2^{log* n}`` factor in distortion (the "doubling effect" of Sect. 2).
+
+Guarantees reproduced (Theorem 2 / Lemmas 5–6):
+
+* expected size  D n / e + O(n log D);
+* distortion     O(eps^-1 2^{log* n - log* D} log_D n);
+* the spanner contains, at every moment, a spanning tree of pi^-1(C) for
+  every live cluster C (the key invariant; tested property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.clustering import Clustering
+from repro.core.expand import expand
+from repro.core.schedule import Round, build_schedule, exact_form_schedule
+from repro.graphs.contraction import contract
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.spanner.spanner import Spanner
+from repro.util.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class RoundTrace:
+    """Per-round telemetry for tests and benches."""
+
+    p: float
+    expand_calls: int
+    vertices_before: int
+    vertices_after: int
+    clusters_after: int
+    died: int
+    edges_added: int
+    #: Lemma 2-style bound on cluster radius w.r.t. the original graph.
+    radius_bound: int
+
+
+@dataclass
+class SkeletonTrace:
+    """Full execution trace of one skeleton construction."""
+
+    schedule: List[Round]
+    rounds: List[RoundTrace] = field(default_factory=list)
+
+    @property
+    def total_expand_calls(self) -> int:
+        return sum(r.expand_calls for r in self.rounds)
+
+    @property
+    def max_radius_bound(self) -> int:
+        return max((r.radius_bound for r in self.rounds), default=0)
+
+
+def _prf_sampler(prf, call_index: int, p: float):
+    """Shared-randomness cluster sampler for Expand call ``call_index``."""
+
+    def sampler(center: int) -> bool:
+        return prf(call_index, center) < p
+
+    return sampler
+
+
+def build_skeleton(
+    graph: Graph,
+    D: int = 4,
+    eps: float = 0.5,
+    seed: SeedLike = None,
+    schedule: Optional[List[Round]] = None,
+    exact_form: bool = False,
+    prf=None,
+    collect_preimages: bool = False,
+    collect_certificates: bool = False,
+) -> Spanner:
+    """Build a linear-size skeleton/spanner of ``graph``.
+
+    Parameters mirror Theorem 2: ``D >= 4`` controls density (expected size
+    ~ D n / e + O(n log D)); ``eps`` is the message-length exponent, which
+    in the sequential setting only shapes the schedule's finishing rounds.
+    ``exact_form=True`` uses the Sect. 2 special-form schedule instead of
+    Theorem 2's density-triggered one (ablation E12); an explicit
+    ``schedule`` overrides both.  ``prf(call_index, center) -> [0, 1)``
+    injects shared randomness (see :func:`repro.util.rng.make_prf`) so
+    the distributed protocol can be cross-validated call by call.
+    ``collect_preimages=True`` records, after every Expand call, the
+    original-vertex preimage of each live cluster (metadata key
+    ``"preimages"``, one dict per call) — the hook behind the
+    key-invariant test that "S contains a spanning tree of pi^-1(C)".
+    ``collect_certificates=True`` additionally records, for every host
+    edge the algorithm removes from consideration, the Lemma 4 distance
+    bound it owes — ``(2j + 2)(2 r_i + 1) - 1`` for death removals and
+    ``2 r_i`` for contraction removals — under metadata key
+    ``"certificates"`` as ``(edge, bound)`` pairs (implies preimages).
+
+    Returns a :class:`Spanner` whose metadata contains the execution
+    trace under ``"trace"``.
+    """
+    rng = ensure_rng(seed)
+    if collect_certificates:
+        collect_preimages = True
+    if schedule is None:
+        if exact_form:
+            schedule = exact_form_schedule(graph.n, D)
+        else:
+            # Theorem 2 caps D < log^eps n; for small graphs fall back to
+            # the exact-form schedule, which has no such constraint.
+            try:
+                schedule = build_schedule(graph.n, D, eps)
+            except ValueError:
+                schedule = exact_form_schedule(graph.n, D)
+
+    trace = SkeletonTrace(schedule=schedule)
+    spanner_edges: Set[Edge] = set()
+    cluster_counts: List[int] = []
+
+    # The working (contracted) graph, its edge witnesses into the original
+    # graph, and per-supervertex radius bound w.r.t. the original graph.
+    work = graph.copy()
+    witness: Dict[Edge, Edge] = {e: e for e in work.edges()}
+    radius: Dict[int, int] = {v: 0 for v in work.vertices()}
+    preimage: Dict[int, frozenset] = {
+        v: frozenset([v]) for v in work.vertices()
+    }
+    preimages: List[Dict[int, frozenset]] = []
+    edge_snapshots: List[frozenset] = []
+    certificates: List[tuple] = []
+
+    for round_spec in schedule:
+        if work.n == 0:
+            break
+        vertices_before = work.n
+        round_died = 0
+        round_edges = 0
+        clustering = Clustering.trivial(work.vertices())
+        probabilities = [round_spec.p] * round_spec.iterations
+        if round_spec.final_zero:
+            probabilities.append(0.0)
+        calls_done = 0
+        for p in probabilities:
+            if work.n == 0:
+                break
+            sampler = None
+            if prf is not None:
+                call_index = trace.total_expand_calls + calls_done
+                sampler = _prf_sampler(prf, call_index, p)
+            result = expand(work, clustering, p, rng, sampler=sampler)
+            # Lemma 4(1): every host edge between a dying supervertex u
+            # and a work-neighbor v — the whole pi^-1(u) x pi^-1(v)
+            # product, not just the witness — gets a spanner path of
+            # length at most (2j + 2)(2 r_i + 1) - 1, where j is the
+            # clustering radius at this call, r_i the supervertex radius.
+            if collect_certificates:
+                r_now = max(
+                    (radius[v] for v in work.vertices()), default=0
+                )
+                death_bound = (
+                    (2 * calls_done + 2) * (2 * r_now + 1) - 1
+                )
+                for u in result.died:
+                    neighbor_pre = {
+                        b: work_v
+                        for work_v in work.neighbors(u)
+                        for b in preimage[work_v]
+                    }
+                    for a in preimage[u]:
+                        for b in graph.neighbors(a):
+                            if b in neighbor_pre:
+                                certificates.append(
+                                    (canonical_edge(a, b), death_bound)
+                                )
+            calls_done += 1
+            for e in result.selected_edges:
+                spanner_edges.add(witness[canonical_edge(*e)])
+            round_edges += len(result.selected_edges)
+            round_died += len(result.died)
+            for v in result.died:
+                work.remove_vertex(v)
+            clustering = result.clustering
+            cluster_counts.append(clustering.num_clusters)
+            if collect_preimages:
+                snapshot: Dict[int, frozenset] = {}
+                for sv, center in clustering.cluster_of.items():
+                    snapshot[center] = snapshot.get(
+                        center, frozenset()
+                    ) | preimage[sv]
+                preimages.append(snapshot)
+                edge_snapshots.append(frozenset(spanner_edges))
+
+        # Contract the round's final clustering (Lemma 2's doubling step):
+        # a radius-j cluster of radius-r supervertices spans a tree of
+        # radius j (2r + 1) + r in the original graph.
+        r_max = max((radius[v] for v in work.vertices()), default=0)
+        new_radius_bound = calls_done * (2 * r_max + 1) + r_max
+        if work.n > 0:
+            members = clustering.members()
+            work, witness = contract(work, clustering.cluster_of, witness)
+            radius = {
+                center: new_radius_bound for center in members
+            }
+            preimage = {
+                center: frozenset().union(
+                    *(preimage[sv] for sv in svs)
+                )
+                for center, svs in members.items()
+            }
+            # Lemma 4(2): host edges with both endpoints inside a
+            # contracted cluster owe a spanner path of length <= 2 r.
+            if collect_certificates:
+                for cluster_preimage in preimage.values():
+                    for a in cluster_preimage:
+                        for b in graph.neighbors(a):
+                            if a < b and b in cluster_preimage:
+                                certificates.append(
+                                    ((a, b), 2 * new_radius_bound)
+                                )
+        trace.rounds.append(
+            RoundTrace(
+                p=round_spec.p,
+                expand_calls=calls_done,
+                vertices_before=vertices_before,
+                vertices_after=work.n,
+                clusters_after=work.n,
+                died=round_died,
+                edges_added=round_edges,
+                radius_bound=new_radius_bound,
+            )
+        )
+
+    metadata = {
+        "algorithm": "pettie-skeleton",
+        "D": D,
+        "eps": eps,
+        "rounds": len(trace.rounds),
+        "expand_calls": trace.total_expand_calls,
+        "max_radius_bound": trace.max_radius_bound,
+        "cluster_counts": cluster_counts,
+        "trace": trace,
+    }
+    if collect_preimages:
+        metadata["preimages"] = preimages
+        metadata["edge_snapshots"] = edge_snapshots
+    if collect_certificates:
+        metadata["certificates"] = certificates
+    return Spanner(graph, spanner_edges, metadata)
+
+
+def skeleton_expected_size(n: int, D: int) -> float:
+    """Convenience re-export of Lemma 6's explicit size bound."""
+    from repro.analysis.theory import skeleton_size_bound
+
+    return skeleton_size_bound(n, D)

@@ -1,0 +1,39 @@
+"""Synchronous message-passing simulator and the paper's protocols."""
+
+from repro.distributed.simulator import (
+    Api,
+    Network,
+    NetworkStats,
+    NodeProgram,
+    ProtocolError,
+)
+from repro.distributed.primitives import (
+    ball_broadcast_protocol,
+    bounded_bfs_protocol,
+    pipelined_broadcast_protocol,
+)
+from repro.distributed.additive_protocol import distributed_additive2
+from repro.distributed.baswana_sen_protocol import (
+    distributed_baswana_sen,
+    distributed_baswana_sen_weighted,
+)
+from repro.distributed.fibonacci_protocol import (
+    distributed_fibonacci_spanner,
+)
+from repro.distributed.skeleton_protocol import distributed_skeleton
+
+__all__ = [
+    "Api",
+    "Network",
+    "NetworkStats",
+    "NodeProgram",
+    "ProtocolError",
+    "ball_broadcast_protocol",
+    "bounded_bfs_protocol",
+    "pipelined_broadcast_protocol",
+    "distributed_additive2",
+    "distributed_baswana_sen",
+    "distributed_baswana_sen_weighted",
+    "distributed_fibonacci_spanner",
+    "distributed_skeleton",
+]

@@ -1,0 +1,214 @@
+"""Distributed construction of Fibonacci spanners (Section 4.4).
+
+Two stages per level, exactly as in the paper:
+
+* **Stage 1** (forests): for each i, a bounded multi-source BFS from V_i
+  for ell^{i-1} rounds with unit-length messages; every vertex then knows
+  the first edge on P(v, p_i(v)) or that delta(v, V_i) > ell^{i-1}, and
+  the qualifying parent edges enter the spanner.
+
+* **Stage 2** (balls): every y in V_i broadcasts its identity through the
+  radius-ell^i ball, nodes relaying newly heard sources and *ceasing
+  participation* when a relay would exceed the O(n^{1/t}) message cap.
+  Collectors x in V_{i-1} then issue add-path requests for every
+  u in B_{i+1,ell}(x), routed backward along the broadcast parents.
+
+The Monte-Carlo -> Las-Vegas conversion is included: ceased vertices
+broadcast the round at which they stopped; a collector that detects a
+possibly-blocked source (delta(x, z) + k < delta(x, V_{i+1})) commands its
+radius-ell^i ball to keep all adjacent edges (rare by the choice of cap —
+probability < 2 n^{-3} — but exercised directly in tests via tiny caps).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.fibonacci import FibonacciParams, sample_levels
+from repro.distributed.primitives import (
+    ball_broadcast_protocol,
+    bounded_bfs_protocol,
+    path_retrace_protocol,
+)
+from repro.distributed.simulator import NetworkStats
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.graphs.properties import bfs_distances
+from repro.spanner.spanner import Spanner
+from repro.util.rng import SeedLike
+
+
+def adjust_probabilities_for_cap(
+    n: int, probabilities: Sequence[float], t: float
+) -> List[float]:
+    """Theorem 8's probability adjustment for an O(n^{1/t}) message cap.
+
+    Find the maximum prefix with q_i / q_{i+1} <= n^{1/t}; replace the
+    rest by a geometric sequence with ratio n^{1/t} down to ~1/n.  The
+    effect is to increase the order by at most t.
+    """
+    if t <= 0:
+        raise ValueError("t must be positive")
+    ratio = n ** (1.0 / t)
+    adjusted: List[float] = []
+    prev = 1.0
+    for q in probabilities:
+        if prev / q <= ratio + 1e-12:
+            adjusted.append(q)
+            prev = q
+        else:
+            break
+    if len(adjusted) == len(probabilities):
+        return adjusted
+    # Geometric continuation until we are at least as sparse as the
+    # original target (the original final probability).
+    target = probabilities[-1]
+    while adjusted and adjusted[-1] > target and adjusted[-1] / ratio > 1 / n:
+        adjusted.append(max(target, adjusted[-1] / ratio))
+    if not adjusted:
+        adjusted = [min(1.0, ratio / n)]
+    return adjusted
+
+
+def distributed_fibonacci_spanner(
+    graph: Graph,
+    order: Optional[int] = None,
+    eps: float = 0.5,
+    ell: Optional[int] = None,
+    t: Optional[float] = None,
+    max_message_words: Optional[int] = None,
+    seed: SeedLike = None,
+    levels: Optional[List[Set[int]]] = None,
+    failure_detection: bool = True,
+) -> Spanner:
+    """Build a Fibonacci spanner by message passing (Theorem 8).
+
+    ``t`` sets the message cap to ceil(n^{1/t}) and adjusts the sampling
+    probabilities per Theorem 8; ``max_message_words`` overrides the cap
+    directly.  Pass ``levels`` to reuse a hierarchy sampled elsewhere
+    (e.g. to cross-validate against the sequential construction).
+
+    The returned spanner's metadata carries the aggregated
+    :class:`NetworkStats` under ``"network_stats"`` plus a per-phase
+    breakdown under ``"phase_stats"``.
+    """
+    n = graph.n
+    params = FibonacciParams.resolve(n, order=order, eps=eps, ell=ell)
+    cap = max_message_words
+    if cap is None and t is not None:
+        cap = max(1, math.ceil(n ** (1.0 / t)))
+        params.probabilities = adjust_probabilities_for_cap(
+            n, params.probabilities, t
+        )
+        params.order = len(params.probabilities)
+    if levels is None:
+        levels = sample_levels(graph, params, seed)
+    o = len(levels) - 1
+    ell_val = params.ell
+
+    edges: Set[Edge] = set()
+    phase_stats: List[Tuple[str, NetworkStats]] = []
+    fallback_commands = 0
+
+    # ---------------- Stage 1: nearest-V_i forests -------------------
+    for i in range(1, o + 1):
+        radius = int(ell_val ** (i - 1))
+        dist, _, parent, stats = bounded_bfs_protocol(
+            graph, levels[i], radius, max_message_words=cap
+        )
+        phase_stats.append((f"forest[{i}]", stats))
+        for v, d in dist.items():
+            if d >= 1:
+                edges.add(canonical_edge(v, parent[v]))
+
+    # ---------------- Stage 2: B_{i+1,ell} balls ----------------------
+    for i in range(0, o + 1):
+        targets = levels[i] if i <= o else set()
+        if not targets:
+            continue
+        collectors = levels[i - 1] if i >= 1 else levels[0]
+        radius = int(ell_val**i)
+
+        # delta(., V_{i+1}) up to radius + 1 (enough to cut the balls).
+        if i < o and levels[i + 1]:
+            dist_next, _, _, stats = bounded_bfs_protocol(
+                graph, levels[i + 1], radius + 1, max_message_words=cap
+            )
+            phase_stats.append((f"cutoff[{i}]", stats))
+        else:
+            dist_next = {}
+
+        known, ceased, stats = ball_broadcast_protocol(
+            graph, targets, radius, max_message_words=cap
+        )
+        phase_stats.append((f"ball[{i}]", stats))
+
+        # Las-Vegas failure detection (Sect. 4.4).
+        failed: List[int] = []
+        if ceased and failure_detection:
+            known_ceased, _, stats = ball_broadcast_protocol(
+                graph, ceased.keys(), radius, max_message_words=None
+            )
+            phase_stats.append((f"detect[{i}]", stats))
+            for x in sorted(collectors):
+                d_next = dist_next.get(x, math.inf)
+                for z, (dz, _) in known_ceased[x].items():
+                    if dz + ceased[z] < d_next:
+                        failed.append(x)
+                        break
+        if failed:
+            # Each failing collector commands its radius-ell^i ball to
+            # include all adjacent edges; the command broadcast costs one
+            # more ball-broadcast phase.
+            _, _, stats = ball_broadcast_protocol(
+                graph, failed, radius, max_message_words=None
+            )
+            phase_stats.append((f"fallback[{i}]", stats))
+            fallback_commands += len(failed)
+            for x in failed:
+                ball = bfs_distances(graph, x, cutoff=radius)
+                for v in ball:
+                    for u in graph.neighbors(v):
+                        edges.add(canonical_edge(v, u))
+
+        # Add-path requests: u in B_{i+1,ell}(x) iff
+        # 1 <= delta(x, u) <= min(ell^i, delta(x, V_{i+1}) - 1).
+        requests: Dict[int, List[int]] = {}
+        for x in sorted(collectors):
+            r_x = min(float(radius), dist_next.get(x, math.inf) - 1)
+            wanted = [
+                u
+                for u, (d, _) in known[x].items()
+                if 1 <= d <= r_x
+            ]
+            if wanted:
+                requests[x] = sorted(wanted)
+        parent_maps = {
+            v: {u: par for u, (_, par) in know.items()}
+            for v, know in known.items()
+        }
+        path_edges, stats = path_retrace_protocol(
+            graph, parent_maps, requests, radius, max_message_words=cap
+        )
+        phase_stats.append((f"retrace[{i}]", stats))
+        edges |= path_edges
+
+    total = NetworkStats(cap=cap)
+    for _, stats in phase_stats:
+        total = total.merged_with(stats)
+    total.cap = cap
+
+    metadata = {
+        "algorithm": "fibonacci-spanner-distributed",
+        "order": o,
+        "eps": params.eps,
+        "ell": ell_val,
+        "t": t,
+        "message_cap": cap,
+        "probabilities": params.probabilities,
+        "level_sizes": [len(lv) for lv in levels],
+        "fallback_commands": fallback_commands,
+        "network_stats": total,
+        "phase_stats": phase_stats,
+    }
+    return Spanner(graph, edges, metadata)

@@ -1,0 +1,231 @@
+"""Synchronous distributed network simulator.
+
+The model is the paper's (Sect. 1.1): the communication network *is* the
+input graph; each vertex holds a processor with a unique O(log n)-bit
+identifier; computation proceeds in synchronized rounds in which each
+processor may send one message to each neighbor; local computation is
+free.  Algorithms are separated by their **maximum message length**,
+measured in units of O(log n) bits ("words") — the axis between Peleg's
+LOCAL (unbounded) and CONGEST (unit) models.
+
+The simulator delivers messages at round boundaries, charges every
+(edge, round, direction) slot by the word count of what it carried
+(multiple ``send`` calls to the same neighbor in one round are merged
+into one message whose width is the sum), and records round, message and
+width statistics.  A cap can be enforced (``strict=True`` raises
+:class:`ProtocolError`) or merely audited (violations counted) — the
+latter is how benches *observe* a protocol's message-length requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.graphs.graph import Graph
+from repro.util.words import message_words
+
+
+class ProtocolError(RuntimeError):
+    """A node violated the communication model (bad dst, width cap, ...)."""
+
+
+@dataclass
+class NetworkStats:
+    """Round/message/width accounting for one or more protocol runs."""
+
+    rounds: int = 0
+    #: per-(edge, round, direction) messages actually delivered.
+    messages: int = 0
+    total_words: int = 0
+    #: widest single (edge, round, direction) slot observed.
+    max_message_words: int = 0
+    cap: Optional[int] = None
+    violations: int = 0
+
+    def observe(self, words: int) -> None:
+        self.messages += 1
+        self.total_words += words
+        if words > self.max_message_words:
+            self.max_message_words = words
+        if self.cap is not None and words > self.cap:
+            self.violations += 1
+
+    def merged_with(self, other: "NetworkStats") -> "NetworkStats":
+        """Combine stats from sequential protocol phases."""
+        caps = [c for c in (self.cap, other.cap) if c is not None]
+        return NetworkStats(
+            rounds=self.rounds + other.rounds,
+            messages=self.messages + other.messages,
+            total_words=self.total_words + other.total_words,
+            max_message_words=max(
+                self.max_message_words, other.max_message_words
+            ),
+            cap=min(caps) if caps else None,
+            violations=self.violations + other.violations,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"rounds={self.rounds} messages={self.messages} "
+            f"max_words={self.max_message_words}"
+            + (f" cap={self.cap} violations={self.violations}"
+               if self.cap is not None else "")
+        )
+
+
+class Api:
+    """Per-node handle passed into the node program each round."""
+
+    __slots__ = ("_network", "node_id", "_outbox", "_halted")
+
+    def __init__(self, network: "Network", node_id: int) -> None:
+        self._network = network
+        self.node_id = node_id
+        self._outbox: List[Tuple[int, Any]] = []
+        self._halted = False
+
+    @property
+    def neighbors(self) -> Iterable[int]:
+        """This node's neighbor identifiers (sorted, deterministic)."""
+        return self._network.sorted_neighbors(self.node_id)
+
+    @property
+    def n(self) -> int:
+        """The network size n (known to all processors in the model)."""
+        return self._network.graph.n
+
+    def send(self, dst: int, payload: Any) -> None:
+        """Queue ``payload`` for delivery to neighbor ``dst`` next round."""
+        if not self._network.graph.has_edge(self.node_id, dst):
+            raise ProtocolError(
+                f"node {self.node_id} tried to message non-neighbor {dst}"
+            )
+        self._outbox.append((dst, payload))
+
+    def broadcast(self, payload: Any) -> None:
+        """Send ``payload`` to every neighbor."""
+        for u in self.neighbors:
+            self.send(u, payload)
+
+    def halt(self) -> None:
+        """Stop participating; the node receives no further rounds."""
+        self._halted = True
+
+
+class NodeProgram:
+    """Base class for per-node protocol logic.
+
+    ``setup`` runs before round 1 (it may send); ``on_round`` runs every
+    round with the messages delivered this round as ``inbox`` — a list of
+    ``(src, payload)`` pairs in deterministic (src-sorted) order.
+    """
+
+    def setup(self, api: Api) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def on_round(
+        self, api: Api, round_index: int, inbox: List[Tuple[int, Any]]
+    ) -> None:
+        raise NotImplementedError
+
+
+class Network:
+    """A synchronous network: one :class:`NodeProgram` per graph vertex."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        programs: Dict[int, NodeProgram] = None,
+        program_factory: Callable[[int], NodeProgram] = None,
+        max_message_words: Optional[int] = None,
+        strict: bool = False,
+    ) -> None:
+        if (programs is None) == (program_factory is None):
+            raise ValueError(
+                "provide exactly one of programs / program_factory"
+            )
+        self.graph = graph
+        if programs is None:
+            programs = {v: program_factory(v) for v in graph.vertices()}
+        missing = [v for v in graph.vertices() if v not in programs]
+        if missing:
+            raise ValueError(f"no program for vertices {missing[:5]}...")
+        self.programs = programs
+        self.strict = strict
+        self.stats = NetworkStats(cap=max_message_words)
+        self._apis = {v: Api(self, v) for v in graph.vertices()}
+        self._sorted_nbrs: Dict[int, List[int]] = {}
+        #: messages in flight: dst -> list of (src, payload).
+        self._pending: Dict[int, List[Tuple[int, Any]]] = {}
+        self._setup_done = False
+
+    def sorted_neighbors(self, v: int) -> List[int]:
+        if v not in self._sorted_nbrs:
+            self._sorted_nbrs[v] = sorted(self.graph.neighbors(v))
+        return self._sorted_nbrs[v]
+
+    @property
+    def all_halted(self) -> bool:
+        return all(api._halted for api in self._apis.values())
+
+    def _collect_outboxes(self) -> None:
+        """Merge this round's sends into next round's inboxes + account."""
+        next_pending: Dict[int, List[Tuple[int, Any]]] = {}
+        for v in sorted(self._apis):
+            api = self._apis[v]
+            if not api._outbox:
+                continue
+            per_dst: Dict[int, List[Any]] = {}
+            for dst, payload in api._outbox:
+                per_dst.setdefault(dst, []).append(payload)
+            api._outbox = []
+            for dst, payloads in per_dst.items():
+                words = sum(message_words(p) for p in payloads)
+                self.stats.observe(words)
+                if (
+                    self.strict
+                    and self.stats.cap is not None
+                    and words > self.stats.cap
+                ):
+                    raise ProtocolError(
+                        f"node {v} sent {words} words to {dst}, "
+                        f"cap is {self.stats.cap}"
+                    )
+                bucket = next_pending.setdefault(dst, [])
+                for payload in payloads:
+                    bucket.append((v, payload))
+        self._pending = next_pending
+
+    def run(
+        self, max_rounds: int, stop_when_idle: bool = False
+    ) -> NetworkStats:
+        """Execute up to ``max_rounds`` rounds (stops early if all halt).
+
+        Can be called repeatedly; in-flight messages and node state
+        persist, so multi-phase protocols may interleave local
+        re-configuration between ``run`` calls.  ``stop_when_idle``
+        short-circuits once no messages are in flight — a simulation
+        speed-up for phases whose synchronous budget far exceeds the
+        actual traffic (the budget is reported separately by callers).
+        """
+        if not self._setup_done:
+            for v in sorted(self._apis):
+                self.programs[v].setup(self._apis[v])
+            self._collect_outboxes()
+            self._setup_done = True
+        for _ in range(max_rounds):
+            if self.all_halted:
+                break
+            self.stats.rounds += 1
+            pending, self._pending = self._pending, {}
+            for v in sorted(self._apis):
+                api = self._apis[v]
+                if api._halted:
+                    continue
+                inbox = sorted(pending.get(v, ()), key=lambda sp: sp[0])
+                self.programs[v].on_round(api, self.stats.rounds, inbox)
+            self._collect_outboxes()
+            if stop_when_idle and not self._pending:
+                break
+        return self.stats

@@ -1,0 +1,67 @@
+"""Cluster contraction with representative original edges.
+
+Section 2's algorithm repeatedly contracts clusterings: ``G' // C`` replaces
+each cluster by a single vertex and keeps the graph simple.  Crucially,
+"selecting (u, v) [in a contracted graph] is merely shorthand for selecting
+a single arbitrary edge among pi^-1(u) x pi^-1(v) /\\ E" — so the contraction
+must remember, for every contracted edge, one *original-graph* edge realizing
+it.  :func:`contract` does exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.graphs.graph import Edge, Graph, canonical_edge
+
+
+def contract(
+    graph: Graph,
+    cluster_of: Mapping[int, int],
+    edge_witness: Mapping[Edge, Edge] = None,
+) -> Tuple[Graph, Dict[Edge, Edge]]:
+    """Contract ``graph`` according to ``cluster_of``.
+
+    ``cluster_of`` maps every vertex of ``graph`` to its cluster identifier
+    (the clustering must be complete).  ``edge_witness`` optionally maps each
+    canonical edge of ``graph`` to its representative edge in some *earlier*
+    (less contracted) graph; composing witnesses lets the skeleton algorithm
+    trace every selected edge all the way back to the input graph.
+
+    Returns ``(contracted_graph, witness)`` where ``witness`` maps each
+    canonical contracted edge to a representative edge of the original
+    (pre-``edge_witness``) graph.  Loops and parallel edges are discarded,
+    keeping the contracted graph simple; for parallel edges the witness of
+    the first one encountered (in deterministic sorted order) is kept, which
+    matches the paper's "a single arbitrary edge".
+    """
+    for v in graph.vertices():
+        if v not in cluster_of:
+            raise ValueError(f"clustering is not complete: vertex {v} unmapped")
+
+    contracted = Graph(vertices=set(cluster_of[v] for v in graph.vertices()))
+    witness: Dict[Edge, Edge] = {}
+    for u, v in sorted(graph.edges()):
+        cu, cv = cluster_of[u], cluster_of[v]
+        if cu == cv:
+            continue
+        key = canonical_edge(cu, cv)
+        if key not in witness:
+            original = (u, v)
+            if edge_witness is not None:
+                original = edge_witness[canonical_edge(u, v)]
+            witness[key] = original
+        contracted.add_edge(cu, cv)
+    return contracted, witness
+
+
+def quotient_clusters(
+    cluster_of: Mapping[int, int],
+) -> Dict[int, list]:
+    """Invert a vertex->cluster map into cluster -> sorted member list."""
+    members: Dict[int, list] = {}
+    for v, c in cluster_of.items():
+        members.setdefault(c, []).append(v)
+    for c in members:
+        members[c].sort()
+    return members

@@ -1,0 +1,104 @@
+"""Extremal high-girth graphs — witnesses for the girth size bound.
+
+Section 1: "Assuming Erdős's girth conjecture ... any (alpha, beta)-spanner
+with alpha + beta <= 2k has size Omega(n^{1+1/k})."  The mechanism: in a
+graph of girth > 2k, removing *any* edge (u, v) leaves delta(u, v) >= 2k,
+so every (alpha, beta)-spanner with alpha + beta <= 2k - 1 must keep every
+edge.  Dense high-girth graphs therefore force dense spanners.
+
+This module provides the classical witnesses:
+
+* :func:`petersen`, :func:`heawood`, :func:`mcgee` — the (3, 5)-, (3, 6)-
+  and (3, 7)-cages;
+* :func:`generalized_petersen` — the GP(n, k) family;
+* :func:`polarity_free_incidence` — the point–line incidence graph of the
+  projective plane PG(2, q): girth 6 with Theta(n^{3/2}) edges, the
+  extremal graph behind the k = 2 girth bound (and the reason additive
+  2-spanners cannot beat O(n^{3/2})).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graphs.graph import Graph
+
+
+def petersen() -> Graph:
+    """The Petersen graph: (3, 5)-cage, 10 vertices, girth 5."""
+    return generalized_petersen(5, 2)
+
+
+def generalized_petersen(n: int, k: int) -> Graph:
+    """GP(n, k): outer cycle 0..n-1, inner star polygon, spokes."""
+    if n < 3 or not 1 <= k < n / 2:
+        raise ValueError("need n >= 3 and 1 <= k < n/2")
+    g = Graph(vertices=range(2 * n))
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n)          # outer cycle
+        g.add_edge(n + i, n + (i + k) % n)  # inner star polygon
+        g.add_edge(i, n + i)                # spoke
+    return g
+
+
+def heawood() -> Graph:
+    """The Heawood graph: (3, 6)-cage — incidence graph of PG(2, 2)."""
+    # Bipartite circulant description: vertex i joins i+1 mod 14, plus
+    # chords i -> i+5 for even i.
+    g = Graph(vertices=range(14))
+    for i in range(14):
+        g.add_edge(i, (i + 1) % 14)
+    for i in range(0, 14, 2):
+        g.add_edge(i, (i + 5) % 14)
+    return g
+
+
+def mcgee() -> Graph:
+    """The McGee graph: (3, 7)-cage, 24 vertices."""
+    g = Graph(vertices=range(24))
+    for i in range(24):
+        g.add_edge(i, (i + 1) % 24)
+    # Standard LCF notation [12, 7, -7]^8.
+    lcf = [12, 7, -7]
+    for i in range(24):
+        g.add_edge(i, (i + lcf[i % 3]) % 24)
+    return g
+
+
+def polarity_free_incidence(q: int) -> Graph:
+    """Point–line incidence graph of the projective plane PG(2, q).
+
+    ``q`` must be prime (prime powers would need field arithmetic; primes
+    suffice for the extremal statement).  The result is bipartite with
+    2 (q^2 + q + 1) vertices, degree q + 1, girth 6 and
+    (q + 1)(q^2 + q + 1) ~ (n/2)^{3/2} edges — the densest possible
+    girth-6 graph up to constants.
+    """
+    if q < 2 or any(q % d == 0 for d in range(2, int(q**0.5) + 1)):
+        raise ValueError("q must be a prime >= 2")
+
+    # Projective points/lines: nonzero triples over GF(q) up to scaling.
+    def normalize(vec: List[int]) -> tuple:
+        for coordinate in vec:
+            if coordinate % q != 0:
+                inv = pow(coordinate, q - 2, q)
+                return tuple((x * inv) % q for x in vec)
+        raise ValueError("zero vector")
+
+    points = set()
+    for a in range(q):
+        for b in range(q):
+            for c in range(q):
+                if (a, b, c) != (0, 0, 0):
+                    points.add(normalize([a, b, c]))
+    points = sorted(points)
+    index = {p: i for i, p in enumerate(points)}
+    n_points = len(points)  # q^2 + q + 1
+
+    g = Graph(vertices=range(2 * n_points))
+    # Lines are also triples (duality); point p is on line l iff p.l = 0.
+    for li, line in enumerate(points):
+        for p in points:
+            if sum(x * y for x, y in zip(p, line)) % q == 0:
+                g.add_edge(index[p], n_points + li)
+    return g

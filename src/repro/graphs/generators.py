@@ -1,0 +1,319 @@
+"""Graph generators used as workloads throughout the benchmarks.
+
+All generators return :class:`repro.graphs.Graph` over integer vertices
+``0..n-1`` and accept a ``seed`` (int, ``random.Random`` or None) where
+randomness is involved.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Tuple
+
+from repro.graphs.graph import Graph
+from repro.util.rng import SeedLike, ensure_rng
+
+
+def path(n: int) -> Graph:
+    """Simple path on ``n`` vertices."""
+    return Graph(vertices=range(n), edges=((i, i + 1) for i in range(n - 1)))
+
+
+def cycle(n: int) -> Graph:
+    """Cycle on ``n`` vertices (``n >= 3``)."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    g = path(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def star(n: int) -> Graph:
+    """Star with center 0 and ``n - 1`` leaves."""
+    return Graph(vertices=range(n), edges=((0, i) for i in range(1, n)))
+
+
+def complete(n: int) -> Graph:
+    """Complete graph K_n."""
+    return Graph(
+        vertices=range(n), edges=itertools.combinations(range(n), 2)
+    )
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """Complete bipartite graph K_{a,b}; left side 0..a-1, right a..a+b-1."""
+    return Graph(
+        vertices=range(a + b),
+        edges=((i, a + j) for i in range(a) for j in range(b)),
+    )
+
+
+def grid_2d(rows: int, cols: int, torus: bool = False) -> Graph:
+    """2-D grid (or torus) — the long-diameter workload for stage plots."""
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    g = Graph(vertices=range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                g.add_edge(vid(r, c), vid(r, c + 1))
+            elif torus and cols > 2:
+                g.add_edge(vid(r, c), vid(r, 0))
+            if r + 1 < rows:
+                g.add_edge(vid(r, c), vid(r + 1, c))
+            elif torus and rows > 2:
+                g.add_edge(vid(r, c), vid(0, c))
+    return g
+
+
+def hypercube(dim: int) -> Graph:
+    """Boolean hypercube on 2**dim vertices."""
+    n = 1 << dim
+    g = Graph(vertices=range(n))
+    for v in range(n):
+        for b in range(dim):
+            u = v ^ (1 << b)
+            if u > v:
+                g.add_edge(v, u)
+    return g
+
+
+def balanced_tree(branching: int, height: int) -> Graph:
+    """Complete ``branching``-ary tree of the given height (root = 0)."""
+    g = Graph(vertices=[0])
+    frontier = [0]
+    next_id = 1
+    for _ in range(height):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                g.add_edge(parent, next_id)
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return g
+
+
+def barbell(clique_size: int, path_length: int) -> Graph:
+    """Two K_{clique_size} cliques joined by a path of ``path_length`` edges."""
+    g = complete(clique_size)
+    offset = clique_size
+    second = complete(clique_size)
+    for u, v in second.edges():
+        g.add_edge(u + offset, v + offset)
+    prev = 0
+    bridge_start = 2 * clique_size
+    for i in range(path_length - 1):
+        g.add_edge(prev, bridge_start + i)
+        prev = bridge_start + i
+    g.add_edge(prev, offset)
+    return g
+
+
+def chain_of_cliques(num_cliques: int, clique_size: int, link_length: int = 1) -> Graph:
+    """Cliques strung on a path — dense blobs at controllable distances.
+
+    Clique ``i`` occupies ids ``[i * clique_size, (i+1) * clique_size)``;
+    consecutive cliques are joined (first vertex to first vertex) by a path
+    with ``link_length`` edges.  This family has large diameter and high
+    local density, which is what the Fibonacci distance-stage experiment
+    (E6) needs.
+    """
+    g = Graph()
+    for i in range(num_cliques):
+        base = i * clique_size
+        for u, v in itertools.combinations(range(base, base + clique_size), 2):
+            g.add_edge(u, v)
+    next_id = num_cliques * clique_size
+    for i in range(num_cliques - 1):
+        a = i * clique_size
+        b = (i + 1) * clique_size
+        prev = a
+        for _ in range(link_length - 1):
+            g.add_edge(prev, next_id)
+            prev = next_id
+            next_id += 1
+        g.add_edge(prev, b)
+    return g
+
+
+def erdos_renyi_gnp(n: int, p: float, seed: SeedLike = None) -> Graph:
+    """G(n, p) via geometric skipping (efficient for sparse p)."""
+    rng = ensure_rng(seed)
+    g = Graph(vertices=range(n))
+    if p <= 0:
+        return g
+    if p >= 1:
+        return complete(n)
+    import math
+
+    log_q = math.log(1.0 - p)
+    v, w = 1, -1
+    while v < n:
+        r = rng.random()
+        w += 1 + int(math.log(1.0 - r) / log_q)
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            g.add_edge(v, w)
+    return g
+
+
+def erdos_renyi_gnm(n: int, m: int, seed: SeedLike = None) -> Graph:
+    """G(n, m): exactly ``m`` distinct uniform random edges."""
+    max_m = n * (n - 1) // 2
+    if m > max_m:
+        raise ValueError(f"m={m} exceeds the {max_m} possible edges")
+    rng = ensure_rng(seed)
+    g = Graph(vertices=range(n))
+    while g.m < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        g.add_edge(u, v)
+    return g
+
+
+def random_regular(n: int, d: int, seed: SeedLike = None) -> Graph:
+    """Random ``d``-regular graph via the pairing model with restarts.
+
+    Requires ``n * d`` even and ``d < n``.  Restarts on loops/multi-edges,
+    which is fast for the moderate degrees used in benchmarks.
+    """
+    if (n * d) % 2 != 0:
+        raise ValueError("n * d must be even")
+    if d >= n:
+        raise ValueError("need d < n")
+    rng = ensure_rng(seed)
+    if d == 0:
+        return Graph(vertices=range(n))
+    for _ in range(1000):
+        stubs = [v for v in range(n) for _ in range(d)]
+        rng.shuffle(stubs)
+        g = Graph(vertices=range(n))
+        ok = True
+        for i in range(0, len(stubs), 2):
+            if not g.add_edge(stubs[i], stubs[i + 1]):
+                ok = False
+                break
+        if ok:
+            return g
+    raise RuntimeError("pairing model failed to produce a simple graph")
+
+
+def preferential_attachment(n: int, m: int, seed: SeedLike = None) -> Graph:
+    """Barabási–Albert graph: each new vertex attaches to ``m`` others."""
+    if m < 1 or m >= n:
+        raise ValueError("need 1 <= m < n")
+    rng = ensure_rng(seed)
+    g = complete(m + 1)
+    # Repeated-vertex list: sampling uniformly from it is degree-biased.
+    targets: List[int] = [endpoint for edge in g.edges() for endpoint in edge]
+    for new in range(m + 1, n):
+        chosen = set()
+        while len(chosen) < m:
+            chosen.add(rng.choice(targets))
+        for t in chosen:
+            g.add_edge(new, t)
+            targets.extend((new, t))
+    return g
+
+
+def caterpillar(spine: int, legs_per_vertex: int) -> Graph:
+    """A caterpillar tree: a spine path with pendant legs."""
+    g = path(spine)
+    next_id = spine
+    for v in range(spine):
+        for _ in range(legs_per_vertex):
+            g.add_edge(v, next_id)
+            next_id += 1
+    return g
+
+
+def watts_strogatz(
+    n: int, k: int, beta: float, seed: SeedLike = None
+) -> Graph:
+    """Watts–Strogatz small-world graph (ring lattice with rewiring).
+
+    Each vertex connects to its ``k`` nearest ring neighbors (k even);
+    every lattice edge is rewired with probability ``beta`` to a uniform
+    random endpoint (skipping loops/duplicates).  Small diameter with
+    high clustering — a workload between the grid and G(n, p).
+    """
+    if k % 2 != 0 or k < 2:
+        raise ValueError("k must be even and >= 2")
+    if k >= n:
+        raise ValueError("need k < n")
+    rng = ensure_rng(seed)
+    g = Graph(vertices=range(n))
+    for v in range(n):
+        for j in range(1, k // 2 + 1):
+            g.add_edge(v, (v + j) % n)
+    for v in range(n):
+        for j in range(1, k // 2 + 1):
+            if rng.random() < beta:
+                old = (v + j) % n
+                new = rng.randrange(n)
+                if new != v and not g.has_edge(v, new) and g.has_edge(
+                    v, old
+                ):
+                    g.remove_edge(v, old)
+                    g.add_edge(v, new)
+    return g
+
+
+def random_geometric(
+    n: int, radius: float, seed: SeedLike = None
+) -> Graph:
+    """Random geometric graph on the unit square (grid-bucketed).
+
+    Vertices at uniform positions; edges between pairs within Euclidean
+    distance ``radius``.  The standard model for wireless/sensor
+    networks — the setting where network-as-input-graph spanners are
+    deployed in practice.
+    """
+    if not 0 < radius <= 1.5:
+        raise ValueError("radius must be in (0, 1.5]")
+    rng = ensure_rng(seed)
+    positions = [(rng.random(), rng.random()) for _ in range(n)]
+    g = Graph(vertices=range(n))
+    cell = radius
+    buckets: dict = {}
+    for i, (x, y) in enumerate(positions):
+        buckets.setdefault((int(x / cell), int(y / cell)), []).append(i)
+    r2 = radius * radius
+    for (cx, cy), members in buckets.items():
+        neighbors_cells = [
+            buckets.get((cx + dx, cy + dy), [])
+            for dx in (-1, 0, 1)
+            for dy in (-1, 0, 1)
+        ]
+        for i in members:
+            xi, yi = positions[i]
+            for cell_members in neighbors_cells:
+                for j in cell_members:
+                    if j <= i:
+                        continue
+                    xj, yj = positions[j]
+                    if (xi - xj) ** 2 + (yi - yj) ** 2 <= r2:
+                        g.add_edge(i, j)
+    return g
+
+
+def relabel_shuffled(graph: Graph, seed: SeedLike = None) -> Tuple[Graph, dict]:
+    """Randomly permute vertex identifiers.
+
+    The lower-bound argument (Sect. 3) assigns vertices "a random
+    permutation of {1, ..., n}" so algorithms cannot exploit labels.
+    Returns ``(new_graph, mapping old->new)``.
+    """
+    rng = ensure_rng(seed)
+    old = list(graph.vertices())
+    new = list(range(len(old)))
+    rng.shuffle(new)
+    mapping = dict(zip(old, new))
+    g = Graph(vertices=new)
+    for u, v in graph.edges():
+        g.add_edge(mapping[u], mapping[v])
+    return g, mapping

@@ -1,0 +1,175 @@
+"""Undirected, unweighted, simple graph.
+
+The paper works exclusively with undirected unweighted graphs whose
+vertices are network processors.  Vertices here are integers (processor
+identifiers); loops and parallel edges are silently rejected, matching the
+paper's "the graph G' \\ V'' is simple" convention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Set, Tuple
+
+Edge = Tuple[int, int]
+
+
+def canonical_edge(u: int, v: int) -> Edge:
+    """Return the canonical (sorted) form of the undirected edge {u, v}."""
+    return (u, v) if u <= v else (v, u)
+
+
+class Graph:
+    """Adjacency-set representation of a simple undirected graph."""
+
+    __slots__ = ("_adj", "_m")
+
+    def __init__(
+        self,
+        vertices: Iterable[int] = (),
+        edges: Iterable[Edge] = (),
+    ) -> None:
+        self._adj: Dict[int, Set[int]] = {}
+        self._m = 0
+        for v in vertices:
+            self.add_vertex(v)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: int) -> None:
+        """Add an isolated vertex (no-op if present)."""
+        if v not in self._adj:
+            self._adj[v] = set()
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add the edge {u, v}; returns False for loops/duplicates."""
+        if u == v:
+            return False
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v in self._adj[u]:
+            return False
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._m += 1
+        return True
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Remove the edge {u, v} if present; returns whether removed."""
+        if u in self._adj and v in self._adj[u]:
+            self._adj[u].discard(v)
+            self._adj[v].discard(u)
+            self._m -= 1
+            return True
+        return False
+
+    def remove_vertex(self, v: int) -> None:
+        """Remove ``v`` and all incident edges."""
+        if v not in self._adj:
+            return
+        for u in list(self._adj[v]):
+            self.remove_edge(u, v)
+        del self._adj[v]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return len(self._adj)
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self._m
+
+    def has_vertex(self, v: int) -> bool:
+        return v in self._adj
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, v: int) -> Set[int]:
+        """The neighbor set of ``v`` (do not mutate)."""
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate canonical edges, each exactly once."""
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if u <= v:
+                    yield (u, v)
+
+    def edge_set(self) -> Set[Edge]:
+        """Materialize the canonical edge set."""
+        return set(self.edges())
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        g = Graph()
+        g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        g._m = self._m
+        return g
+
+    def subgraph(self, keep: Iterable[int]) -> "Graph":
+        """Vertex-induced subgraph on ``keep``."""
+        keep_set = set(keep)
+        g = Graph(vertices=keep_set)
+        for u in keep_set:
+            if u in self._adj:
+                for v in self._adj[u]:
+                    if v in keep_set and u <= v:
+                        g.add_edge(u, v)
+        return g
+
+    def edge_subgraph(self, edges: Iterable[Edge]) -> "Graph":
+        """Subgraph with all of this graph's vertices but only ``edges``.
+
+        Every edge must exist in this graph (the spanner-subset invariant);
+        a ``ValueError`` flags violations early.
+        """
+        g = Graph(vertices=self._adj)
+        for u, v in edges:
+            if not self.has_edge(u, v):
+                raise ValueError(f"edge {(u, v)} not in host graph")
+            g.add_edge(u, v)
+        return g
+
+    def __contains__(self, v: int) -> bool:
+        return v in self._adj
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.n}, m={self.m})"
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Convert to ``networkx.Graph`` (optional dependency)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self._adj)
+        g.add_edges_from(self.edges())
+        return g
+
+    @classmethod
+    def from_networkx(cls, nxg) -> "Graph":
+        """Build from a ``networkx`` graph with integer nodes."""
+        return cls(vertices=nxg.nodes(), edges=nxg.edges())

@@ -1,0 +1,191 @@
+"""The lower-bound graph family G(tau, chi, mu) of Section 3.
+
+The graph is a chain of ``mu`` complete ``chi x chi`` bipartite blocks.
+Corresponding right/left block columns are joined by chains: column 1 by a
+*short* chain of length ``tau + 1`` and columns ``j >= 2`` by chains of
+length ``tau + 5``.  Pendant chains of ``tau + 1`` new vertices hang off the
+first block's left side and the last block's right side so that every block
+vertex has a topologically identical ``tau``-neighborhood.
+
+The *critical edges* are ``(vL[i][1], vR[i][1])``: discarding one forces a
+detour of exactly +2 (through column j > 1 of the same block), which is the
+engine of every lower bound in the section.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from repro.graphs.graph import Edge, Graph, canonical_edge
+
+
+@dataclass
+class LowerBoundGraph:
+    """G(tau, chi, mu) plus the bookkeeping the theorems need."""
+
+    graph: Graph
+    tau: int
+    chi: int
+    mu: int
+    #: left/right block columns: ``left[i][j]`` is v_{L,i+1,j+1} (0-indexed).
+    left: List[List[int]] = field(repr=False)
+    right: List[List[int]] = field(repr=False)
+    #: the critical edges (vL[i][1], vR[i][1]), canonical form, block order.
+    critical_edges: List[Edge] = field(repr=False)
+    #: every edge inside a bipartite block (the only discardable edges).
+    block_edges: Set[Edge] = field(repr=False)
+    #: every chain/pendant edge (must be kept by any correct algorithm).
+    chain_edges: Set[Edge] = field(repr=False)
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    @property
+    def m(self) -> int:
+        return self.graph.m
+
+    def witness_pair(self) -> Tuple[int, int]:
+        """The canonical hard pair: first and last column-1 left vertices.
+
+        Its unique shortest path traverses *every* critical edge and has
+        length ``(mu - 1)(tau + 2) + tau + 1``... more precisely the path
+        vL[0][0] -> vR[0][0] -> chain -> vL[1][0] -> ... -> vR[mu-1][0]
+        crosses all ``mu`` critical edges.
+        """
+        return self.left[0][0], self.right[self.mu - 1][0]
+
+    def witness_distance(self) -> int:
+        """delta(u, v) for :meth:`witness_pair` in the intact graph."""
+        # mu critical edges + (mu - 1) chains of length tau + 1 each.
+        return self.mu + (self.mu - 1) * (self.tau + 1)
+
+    def detour_distance(self, discarded: int) -> int:
+        """Distance of the witness pair after ``discarded`` critical edges
+        are removed: each missing critical edge is replaced by a length-3
+        path inside its block (left column-1 -> right column j -> ... no:
+        left[i][0] -> right[i][j] -> left[i][j'] style detours cost +2).
+        """
+        return self.witness_distance() + 2 * discarded
+
+
+def lower_bound_graph(tau: int, chi: int, mu: int) -> LowerBoundGraph:
+    """Construct G(tau, chi, mu).
+
+    ``tau >= 0`` (rounds available to the adversary algorithm),
+    ``chi >= 2`` (block side size), ``mu >= 1`` (number of blocks).
+    """
+    if chi < 2:
+        raise ValueError("chi must be >= 2 so detours exist")
+    if mu < 1:
+        raise ValueError("mu must be >= 1")
+    if tau < 0:
+        raise ValueError("tau must be >= 0")
+
+    g = Graph()
+    next_id = 0
+
+    def fresh() -> int:
+        nonlocal next_id
+        v = next_id
+        next_id += 1
+        g.add_vertex(v)
+        return v
+
+    left = [[fresh() for _ in range(chi)] for _ in range(mu)]
+    right = [[fresh() for _ in range(chi)] for _ in range(mu)]
+
+    block_edges: Set[Edge] = set()
+    chain_edges: Set[Edge] = set()
+    critical_edges: List[Edge] = []
+
+    for i in range(mu):
+        for j in range(chi):
+            for k in range(chi):
+                g.add_edge(left[i][j], right[i][k])
+                block_edges.add(canonical_edge(left[i][j], right[i][k]))
+        critical_edges.append(canonical_edge(left[i][0], right[i][0]))
+
+    def add_chain(u: int, v: int, length: int) -> None:
+        """Connect u to v with a path of ``length`` edges (new interior)."""
+        prev = u
+        for _ in range(length - 1):
+            nxt = fresh()
+            g.add_edge(prev, nxt)
+            chain_edges.add(canonical_edge(prev, nxt))
+            prev = nxt
+        g.add_edge(prev, v)
+        chain_edges.add(canonical_edge(prev, v))
+
+    def add_pendant(u: int, num_new: int) -> None:
+        """Attach a pendant chain of ``num_new`` new vertices to ``u``."""
+        prev = u
+        for _ in range(num_new):
+            nxt = fresh()
+            g.add_edge(prev, nxt)
+            chain_edges.add(canonical_edge(prev, nxt))
+            prev = nxt
+
+    for i in range(mu - 1):
+        add_chain(right[i][0], left[i + 1][0], tau + 1)
+        for j in range(1, chi):
+            add_chain(right[i][j], left[i + 1][j], tau + 5)
+
+    for j in range(chi):
+        add_pendant(left[0][j], tau + 1)
+        add_pendant(right[mu - 1][j], tau + 1)
+
+    return LowerBoundGraph(
+        graph=g,
+        tau=tau,
+        chi=chi,
+        mu=mu,
+        left=left,
+        right=right,
+        critical_edges=critical_edges,
+        block_edges=block_edges,
+        chain_edges=chain_edges,
+    )
+
+
+def theorem3_parameters(
+    n: int, delta: float, c: float, tau: int
+) -> Tuple[int, int, int]:
+    """Parameters (tau, chi, mu) used in Theorem 3's proof.
+
+    chi = c (tau+6) n^delta and mu = n^{1-delta} / (c (tau+6)^2) - 1,
+    clamped to valid minimums for small n.
+    """
+    chi = max(2, round(c * (tau + 6) * n**delta))
+    mu = max(1, round(n ** (1 - delta) / (c * (tau + 6) ** 2)) - 1)
+    return tau, chi, mu
+
+
+def theorem5_parameters(
+    n: int, delta: float, beta: float
+) -> Tuple[int, int, int]:
+    """Parameters for Theorem 5 (additive beta-spanners).
+
+    tau = sqrt(n^{1-delta} / (4 beta)) - 6, chi = 2(tau+6) n^delta,
+    mu = n^{1-delta} / (2 (tau+6)^2) = 2 beta.
+    """
+    tau = max(1, round(math.sqrt(n ** (1 - delta) / (4 * beta))) - 6)
+    chi = max(2, round(2 * (tau + 6) * n**delta))
+    mu = max(1, round(n ** (1 - delta) / (2 * (tau + 6) ** 2)))
+    return tau, chi, mu
+
+
+def theorem6_parameters(
+    n: int, sigma: float, eps: float, c: float
+) -> Tuple[int, int, int]:
+    """Parameters for Theorem 6 (sublinear additive d + c d^{1-eps}).
+
+    tau + 6 = (1/c) n^{eps (1-sigma) / (1+eps)},
+    chi = 4 (tau+6) n^sigma, mu = n^{1-sigma} / (4 (tau+6)^2).
+    """
+    tau = max(1, round(n ** (eps * (1 - sigma) / (1 + eps)) / c) - 6)
+    chi = max(2, round(4 * (tau + 6) * n**sigma))
+    mu = max(1, round(n ** (1 - sigma) / (4 * (tau + 6) ** 2)))
+    return tau, chi, mu

@@ -1,0 +1,203 @@
+"""Graph property routines: BFS machinery, components, diameter, girth.
+
+These are the measurement substrate for the whole reproduction — stretch
+evaluation, ball construction and cluster radii are all built on the BFS
+primitives here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.graphs.graph import Graph
+
+INF = float("inf")
+
+
+def bfs_distances(
+    graph: Graph, source: int, cutoff: Optional[int] = None
+) -> Dict[int, int]:
+    """Distances from ``source`` to every vertex within ``cutoff`` hops.
+
+    ``cutoff=None`` explores the whole component.  Unreached vertices are
+    absent from the result.
+    """
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        if cutoff is not None and du >= cutoff:
+            continue
+        for v in graph.neighbors(u):
+            if v not in dist:
+                dist[v] = du + 1
+                queue.append(v)
+    return dist
+
+
+def bfs_parents(
+    graph: Graph, source: int, cutoff: Optional[int] = None
+) -> Tuple[Dict[int, int], Dict[int, Optional[int]]]:
+    """BFS returning ``(distances, parents)``; the source's parent is None."""
+    dist = {source: 0}
+    parent: Dict[int, Optional[int]] = {source: None}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        if cutoff is not None and du >= cutoff:
+            continue
+        for v in graph.neighbors(u):
+            if v not in dist:
+                dist[v] = du + 1
+                parent[v] = u
+                queue.append(v)
+    return dist, parent
+
+
+def shortest_path(graph: Graph, source: int, target: int) -> Optional[List[int]]:
+    """A shortest path from ``source`` to ``target`` as a vertex list.
+
+    Returns ``None`` when the two are disconnected.
+    """
+    if source == target:
+        return [source]
+    dist, parent = bfs_parents(graph, source)
+    if target not in dist:
+        return None
+    path = [target]
+    while parent[path[-1]] is not None:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def multi_source_bfs(
+    graph: Graph,
+    sources: Iterable[int],
+    cutoff: Optional[int] = None,
+) -> Tuple[Dict[int, int], Dict[int, int], Dict[int, Optional[int]]]:
+    """Multi-source BFS with min-identifier tie-breaking.
+
+    Returns ``(dist, root, parent)`` where ``root[v]`` is the *minimum-id*
+    source among those nearest to ``v`` — exactly the paper's definition of
+    ``p_i(v)`` ("if there are multiple such vertices let p_i(u) be the one
+    whose unique identifier is minimum", Sect. 4.1).  The parent pointers
+    form a forest of shortest paths toward the roots, consistent with the
+    tie-breaking (so every vertex on the tree path from ``v`` shares
+    ``root[v]``).
+    """
+    dist: Dict[int, int] = {}
+    root: Dict[int, int] = {}
+    parent: Dict[int, Optional[int]] = {}
+    frontier = sorted(set(sources))
+    for s in frontier:
+        dist[s] = 0
+        root[s] = s
+        parent[s] = None
+    level = 0
+    while frontier and (cutoff is None or level < cutoff):
+        # Process the whole level, then resolve ties by minimum root id:
+        # a vertex discovered by several frontier vertices adopts the one
+        # whose root identifier is smallest.
+        candidates: Dict[int, Tuple[int, int]] = {}
+        for u in frontier:
+            for v in graph.neighbors(u):
+                if v in dist:
+                    continue
+                cand = (root[u], u)
+                if v not in candidates or cand < candidates[v]:
+                    candidates[v] = cand
+        next_frontier = []
+        level += 1
+        for v, (r, via) in candidates.items():
+            dist[v] = level
+            root[v] = r
+            parent[v] = via
+            next_frontier.append(v)
+        frontier = next_frontier
+    return dist, root, parent
+
+
+def connected_components(graph: Graph) -> List[Set[int]]:
+    """All connected components as vertex sets."""
+    seen: Set[int] = set()
+    components = []
+    for v in graph.vertices():
+        if v in seen:
+            continue
+        comp = set(bfs_distances(graph, v))
+        seen |= comp
+        components.append(comp)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (empty graph counts as connected)."""
+    if graph.n == 0:
+        return True
+    first = next(graph.vertices())
+    return len(bfs_distances(graph, first)) == graph.n
+
+
+def eccentricity(graph: Graph, v: int) -> int:
+    """Maximum distance from ``v`` within its component."""
+    return max(bfs_distances(graph, v).values())
+
+
+def diameter(graph: Graph, exact: bool = True) -> int:
+    """Diameter of a connected graph.
+
+    ``exact=True`` runs BFS from every vertex (O(nm)); ``exact=False`` uses
+    the double-sweep lower bound, which is exact on trees and very tight on
+    the graph families used here.
+    """
+    if graph.n == 0:
+        return 0
+    if not exact:
+        start = next(graph.vertices())
+        dist = bfs_distances(graph, start)
+        far = max(dist, key=lambda u: dist[u])
+        return eccentricity(graph, far)
+    return max(eccentricity(graph, v) for v in graph.vertices())
+
+
+def girth(graph: Graph) -> float:
+    """Length of the shortest cycle; ``inf`` for forests.
+
+    Runs the classical per-vertex truncated BFS: a non-tree edge between
+    two vertices at depths d1, d2 from the BFS root witnesses a cycle of
+    length d1 + d2 + 1.  Taking the minimum over all roots is exact for
+    undirected graphs.
+    """
+    best = INF
+    for s in graph.vertices():
+        dist = {s: 0}
+        parent = {s: s}
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            if 2 * dist[u] >= best - 1:
+                continue
+            for v in graph.neighbors(u):
+                if v == parent[u]:
+                    continue
+                if v in dist:
+                    cycle_len = dist[u] + dist[v] + 1
+                    if cycle_len < best:
+                        best = cycle_len
+                else:
+                    dist[v] = dist[u] + 1
+                    parent[v] = u
+                    queue.append(v)
+    return best
+
+
+def distance(graph: Graph, u: int, v: int) -> float:
+    """Exact distance between ``u`` and ``v`` (``inf`` if disconnected)."""
+    if u == v:
+        return 0
+    dist = bfs_distances(graph, u)
+    return dist.get(v, INF)

@@ -1,0 +1,166 @@
+"""Weighted undirected graphs and Dijkstra — the Baswana–Sen substrate.
+
+The paper's focus is unweighted graphs, but Fig. 1's first row notes that
+"Baswana and Sen's randomized algorithm for constructing (2k-1)-spanners
+in *weighted* graphs is optimal in all respects".  This module provides
+the weighted substrate that claim lives on: a positive-weight undirected
+graph, Dijkstra distances, and weighted stretch measurement.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.graphs.graph import Graph, canonical_edge
+from repro.util.rng import SeedLike, ensure_rng
+
+Edge = Tuple[int, int]
+INF = float("inf")
+
+
+class WeightedGraph:
+    """Simple undirected graph with positive edge weights."""
+
+    __slots__ = ("_adj",)
+
+    def __init__(
+        self, edges: Iterable[Tuple[int, int, float]] = ()
+    ) -> None:
+        self._adj: Dict[int, Dict[int, float]] = {}
+        for u, v, w in edges:
+            self.add_edge(u, v, w)
+
+    def add_vertex(self, v: int) -> None:
+        self._adj.setdefault(v, {})
+
+    def add_edge(self, u: int, v: int, weight: float) -> bool:
+        """Add {u, v} with the given positive weight (no duplicates)."""
+        if u == v:
+            return False
+        if weight <= 0:
+            raise ValueError("weights must be positive")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v in self._adj[u]:
+            return False
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+        return True
+
+    @property
+    def n(self) -> int:
+        return len(self._adj)
+
+    @property
+    def m(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def weight(self, u: int, v: int) -> float:
+        return self._adj[u][v]
+
+    def neighbors(self, v: int) -> Dict[int, float]:
+        """Neighbor -> weight mapping (do not mutate)."""
+        return self._adj[v]
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                if u <= v:
+                    yield (u, v, w)
+
+    def unweighted(self) -> Graph:
+        """Forget the weights (for connectivity checks)."""
+        return Graph(
+            vertices=self._adj,
+            edges=((u, v) for u, v, _ in self.edges()),
+        )
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        weights: Optional[Dict[Edge, float]] = None,
+        seed: SeedLike = None,
+        low: float = 1.0,
+        high: float = 10.0,
+    ) -> "WeightedGraph":
+        """Lift an unweighted graph: explicit weights or uniform random."""
+        rng = ensure_rng(seed)
+        wg = cls()
+        for v in graph.vertices():
+            wg.add_vertex(v)
+        for u, v in sorted(graph.edges()):
+            if weights is not None:
+                w = weights[canonical_edge(u, v)]
+            else:
+                w = rng.uniform(low, high)
+            wg.add_edge(u, v, w)
+        return wg
+
+    def edge_subgraph(self, edges: Iterable[Edge]) -> "WeightedGraph":
+        """Weighted subgraph on all vertices with only ``edges``."""
+        sub = WeightedGraph()
+        for v in self._adj:
+            sub.add_vertex(v)
+        for u, v in edges:
+            if not self.has_edge(u, v):
+                raise ValueError(f"edge {(u, v)} not in host graph")
+            sub.add_edge(u, v, self.weight(u, v))
+        return sub
+
+    def __repr__(self) -> str:
+        return f"WeightedGraph(n={self.n}, m={self.m})"
+
+
+def dijkstra(
+    graph: WeightedGraph, source: int, cutoff: float = INF
+) -> Dict[int, float]:
+    """Single-source shortest-path distances up to ``cutoff``."""
+    dist: Dict[int, float] = {}
+    heap = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in dist:
+            continue
+        if d > cutoff:
+            break
+        dist[u] = d
+        for v, w in graph.neighbors(u).items():
+            if v not in dist:
+                heapq.heappush(heap, (d + w, v))
+    return dist
+
+
+def weighted_stretch(
+    host: WeightedGraph,
+    spanner_edges: Set[Edge],
+    num_sources: Optional[int] = None,
+    seed: SeedLike = None,
+) -> Tuple[float, float]:
+    """(max, mean) multiplicative stretch of a weighted spanner."""
+    sub = host.edge_subgraph(spanner_edges)
+    rng = ensure_rng(seed)
+    sources = sorted(host.vertices())
+    if num_sources is not None and num_sources < len(sources):
+        sources = rng.sample(sources, num_sources)
+    worst = 0.0
+    total = 0.0
+    pairs = 0
+    for s in sources:
+        d_host = dijkstra(host, s)
+        d_sub = dijkstra(sub, s)
+        for v, d in d_host.items():
+            if v == s:
+                continue
+            ratio = d_sub.get(v, INF) / d
+            worst = max(worst, ratio)
+            total += ratio
+            pairs += 1
+    return worst, (total / pairs if pairs else 0.0)

@@ -1,0 +1,25 @@
+"""Spanner result objects, stretch evaluation and guarantee verification."""
+
+from repro.spanner.spanner import Spanner
+from repro.spanner.stretch import (
+    StretchStats,
+    distance_profile,
+    pair_stretch,
+    stretch_statistics,
+)
+from repro.spanner.verification import (
+    verify_connectivity,
+    verify_spanner_guarantee,
+    verify_subgraph,
+)
+
+__all__ = [
+    "Spanner",
+    "StretchStats",
+    "distance_profile",
+    "pair_stretch",
+    "stretch_statistics",
+    "verify_connectivity",
+    "verify_spanner_guarantee",
+    "verify_subgraph",
+]

@@ -1,0 +1,186 @@
+"""Stretch measurement: how much a spanner distorts the host metric.
+
+For a host graph G and spanner subgraph S we report, over (sampled) vertex
+pairs (u, v) in the same component:
+
+* multiplicative stretch  delta_S(u, v) / delta_G(u, v),
+* additive distortion     delta_S(u, v) - delta_G(u, v),
+
+and a *distance profile* (bucketed by delta_G) for the Fibonacci-stage
+experiments, where distortion is a function of distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.properties import bfs_distances
+from repro.util.rng import SeedLike, ensure_rng
+
+INF = float("inf")
+
+
+@dataclass
+class StretchStats:
+    """Aggregate stretch over a set of measured pairs."""
+
+    num_pairs: int
+    max_multiplicative: float
+    mean_multiplicative: float
+    max_additive: float
+    mean_additive: float
+    #: pairs where the spanner disconnects vertices the host connects.
+    disconnected_pairs: int
+    #: multiplicative-stretch percentiles {50: ..., 90: ..., 99: ...};
+    #: empty when percentile collection was off.
+    percentiles: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the spanner preserved connectivity on measured pairs."""
+        return self.disconnected_pairs == 0
+
+    def __str__(self) -> str:
+        return (
+            f"pairs={self.num_pairs} mult(max={self.max_multiplicative:.3f}, "
+            f"mean={self.mean_multiplicative:.3f}) "
+            f"add(max={self.max_additive:.1f}, mean={self.mean_additive:.3f})"
+            + (f" DISCONNECTED={self.disconnected_pairs}" if not self.ok else "")
+        )
+
+
+def _pick_sources(
+    graph: Graph, num_sources: Optional[int], seed: SeedLike
+) -> List[int]:
+    vertices = sorted(graph.vertices())
+    if num_sources is None or num_sources >= len(vertices):
+        return vertices
+    rng = ensure_rng(seed)
+    return rng.sample(vertices, num_sources)
+
+
+def stretch_statistics(
+    host: Graph,
+    spanner_graph: Graph,
+    num_sources: Optional[int] = None,
+    seed: SeedLike = None,
+    sources: Optional[Iterable[int]] = None,
+    percentiles: Iterable[int] = (),
+) -> StretchStats:
+    """Measure stretch from BFS at every (or ``num_sources`` sampled) source.
+
+    Each source contributes exact distances to *all* reachable targets, so
+    sampling sources still measures n-1 pairs per source.  ``sources``
+    overrides sampling when given.  Pass ``percentiles=(50, 90, 99)`` to
+    additionally collect multiplicative-stretch percentiles (costs a sort
+    over all measured pairs).
+    """
+    src_list = (
+        sorted(set(sources)) if sources is not None
+        else _pick_sources(host, num_sources, seed)
+    )
+    wanted_percentiles = sorted(set(percentiles))
+    samples: List[float] = []
+    total_pairs = 0
+    max_mult = 0.0
+    sum_mult = 0.0
+    max_add = 0.0
+    sum_add = 0.0
+    disconnected = 0
+    for s in src_list:
+        dist_g = bfs_distances(host, s)
+        dist_s = bfs_distances(spanner_graph, s)
+        for v, dg in dist_g.items():
+            if v == s:
+                continue
+            total_pairs += 1
+            ds = dist_s.get(v)
+            if ds is None:
+                disconnected += 1
+                continue
+            mult = ds / dg
+            add = ds - dg
+            sum_mult += mult
+            sum_add += add
+            if wanted_percentiles:
+                samples.append(mult)
+            if mult > max_mult:
+                max_mult = mult
+            if add > max_add:
+                max_add = add
+    measured = total_pairs - disconnected
+    pct: Dict[int, float] = {}
+    if wanted_percentiles and samples:
+        samples.sort()
+        for p in wanted_percentiles:
+            if not 0 <= p <= 100:
+                raise ValueError("percentiles must be in [0, 100]")
+            idx = min(
+                len(samples) - 1, int(p / 100 * (len(samples) - 1) + 0.5)
+            )
+            pct[p] = samples[idx]
+    return StretchStats(
+        num_pairs=total_pairs,
+        max_multiplicative=max_mult,
+        mean_multiplicative=(sum_mult / measured) if measured else 0.0,
+        max_additive=max_add,
+        mean_additive=(sum_add / measured) if measured else 0.0,
+        disconnected_pairs=disconnected,
+        percentiles=pct,
+    )
+
+
+def pair_stretch(
+    host: Graph, spanner_graph: Graph, u: int, v: int
+) -> Tuple[float, float]:
+    """(multiplicative, additive) stretch for one pair; inf if cut apart."""
+    dg = bfs_distances(host, u).get(v)
+    if dg is None:
+        raise ValueError(f"{u} and {v} are disconnected in the host graph")
+    if dg == 0:
+        return 1.0, 0.0
+    ds = bfs_distances(spanner_graph, u).get(v)
+    if ds is None:
+        return INF, INF
+    return ds / dg, float(ds - dg)
+
+
+def distance_profile(
+    host: Graph,
+    spanner_graph: Graph,
+    num_sources: Optional[int] = None,
+    seed: SeedLike = None,
+    sources: Optional[Iterable[int]] = None,
+) -> Dict[int, Tuple[int, float, float]]:
+    """Per-distance stretch: ``{d: (count, max_mult, mean_mult)}``.
+
+    The Fibonacci spanner's signature claim (Theorem 7) is that
+    multiplicative stretch *shrinks* as delta(u, v) grows; this profile is
+    the measured version of that curve.  Pairs the spanner disconnects are
+    recorded with infinite stretch.
+    """
+    src_list = (
+        sorted(set(sources)) if sources is not None
+        else _pick_sources(host, num_sources, seed)
+    )
+    counts: Dict[int, int] = {}
+    max_mult: Dict[int, float] = {}
+    sum_mult: Dict[int, float] = {}
+    for s in src_list:
+        dist_g = bfs_distances(host, s)
+        dist_s = bfs_distances(spanner_graph, s)
+        for v, dg in dist_g.items():
+            if v == s:
+                continue
+            ds = dist_s.get(v)
+            mult = INF if ds is None else ds / dg
+            counts[dg] = counts.get(dg, 0) + 1
+            sum_mult[dg] = sum_mult.get(dg, 0.0) + mult
+            if mult > max_mult.get(dg, 0.0):
+                max_mult[dg] = mult
+    return {
+        d: (counts[d], max_mult[d], sum_mult[d] / counts[d])
+        for d in sorted(counts)
+    }

@@ -1,0 +1,65 @@
+"""Spanner guarantee verification.
+
+Three checks, in increasing strength:
+
+1. :func:`verify_subgraph` — every spanner edge exists in the host
+   ("S \\subseteq E", the definition's precondition);
+2. :func:`verify_connectivity` — the spanner preserves the host's connected
+   components ("at the very least the substitute should preserve
+   connectivity", Sect. 1);
+3. :func:`verify_spanner_guarantee` — the (alpha, beta) inequality
+   ``delta_S(u, v) <= alpha * delta(u, v) + beta`` holds on (sampled) pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.graphs.graph import Edge, Graph
+from repro.graphs.properties import bfs_distances, connected_components
+from repro.spanner.stretch import _pick_sources
+from repro.util.rng import SeedLike
+
+
+def verify_subgraph(host: Graph, edges: Iterable[Edge]) -> bool:
+    """Every edge of ``edges`` exists in ``host``."""
+    return all(host.has_edge(u, v) for u, v in edges)
+
+
+def verify_connectivity(host: Graph, spanner_graph: Graph) -> bool:
+    """The spanner has exactly the host's connected components."""
+    host_components = {frozenset(c) for c in connected_components(host)}
+    spanner_components = {
+        frozenset(c) for c in connected_components(spanner_graph)
+    }
+    return host_components == spanner_components
+
+
+def verify_spanner_guarantee(
+    host: Graph,
+    spanner_graph: Graph,
+    alpha: float,
+    beta: float = 0.0,
+    num_sources: Optional[int] = None,
+    seed: SeedLike = None,
+) -> Tuple[bool, Optional[Tuple[int, int, int, float]]]:
+    """Check ``delta_S(u, v) <= alpha * delta(u, v) + beta``.
+
+    Returns ``(ok, worst)`` where ``worst`` is ``None`` when the guarantee
+    holds and otherwise ``(u, v, delta_G, delta_S)`` for the most violating
+    pair found.
+    """
+    worst: Optional[Tuple[int, int, int, float]] = None
+    worst_excess = 0.0
+    for s in _pick_sources(host, num_sources, seed):
+        dist_g = bfs_distances(host, s)
+        dist_s = bfs_distances(spanner_graph, s)
+        for v, dg in dist_g.items():
+            if v == s:
+                continue
+            ds = dist_s.get(v, float("inf"))
+            excess = ds - (alpha * dg + beta)
+            if excess > worst_excess:
+                worst_excess = excess
+                worst = (s, v, dg, ds)
+    return worst is None, worst

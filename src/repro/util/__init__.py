@@ -1,0 +1,7 @@
+"""Shared utilities: seeded RNG plumbing, union-find, message-size measure."""
+
+from repro.util.rng import ensure_rng, make_prf, spawn_rng
+from repro.util.unionfind import UnionFind
+from repro.util.words import message_words
+
+__all__ = ["ensure_rng", "make_prf", "spawn_rng", "UnionFind", "message_words"]

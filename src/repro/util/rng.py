@@ -1,0 +1,59 @@
+"""Random-number-generator plumbing.
+
+Every randomized routine in this library accepts either a seed (``int``),
+an existing :class:`random.Random` instance, or ``None`` (fresh
+nondeterministic generator).  Centralizing the coercion keeps signatures
+uniform and experiments reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+SeedLike = Union[None, int, random.Random]
+
+
+def ensure_rng(seed: SeedLike = None) -> random.Random:
+    """Coerce ``seed`` into a :class:`random.Random` instance.
+
+    ``None`` yields a freshly seeded generator; an ``int`` yields a
+    deterministic generator; an existing generator is returned unchanged
+    (so callers can thread one RNG through a pipeline).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def make_prf(seed: SeedLike = None):
+    """Build a deterministic pseudo-random function ``prf(*keys) -> [0, 1)``.
+
+    Distributed algorithms here use *shared randomness*: every processor
+    derives the same sampling decision for (round, cluster-center) pairs
+    from a common seed, so no communication is spent distributing coin
+    flips.  The same PRF drives the sequential implementations, which is
+    what makes sequential/distributed cross-validation exact.
+    """
+    import hashlib
+
+    seed_rng = ensure_rng(seed)
+    salt = seed_rng.getrandbits(64).to_bytes(8, "little")
+
+    def prf(*keys) -> float:
+        digest = hashlib.sha256(
+            salt + ":".join(repr(k) for k in keys).encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "little") / 2**64
+
+    return prf
+
+
+def spawn_rng(rng: random.Random, stream: int = 0) -> random.Random:
+    """Derive an independent child generator from ``rng``.
+
+    Used when a routine needs several statistically independent streams
+    (e.g. one per algorithm level) that must not interleave, so that
+    adding draws to one stream does not perturb the others.
+    """
+    return random.Random((rng.getrandbits(64) << 16) ^ stream)

@@ -1,0 +1,78 @@
+"""Disjoint-set (union-find) with path compression and union by size."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator
+
+
+class UnionFind:
+    """Classic union-find over arbitrary hashable elements.
+
+    Elements are created lazily on first touch.  Supports ``find``,
+    ``union``, ``connected``, component sizes and iteration over
+    representatives.
+    """
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+        self._components = 0
+        for x in elements:
+            self.add(x)
+
+    def add(self, x: Hashable) -> None:
+        """Register ``x`` as a singleton component if unseen."""
+        if x not in self._parent:
+            self._parent[x] = x
+            self._size[x] = 1
+            self._components += 1
+
+    def find(self, x: Hashable) -> Hashable:
+        """Return the canonical representative of ``x``'s component."""
+        self.add(x)
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, x: Hashable, y: Hashable) -> bool:
+        """Merge the components of ``x`` and ``y``.
+
+        Returns ``True`` if a merge happened (they were distinct).
+        """
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        if self._size[rx] < self._size[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        self._size[rx] += self._size[ry]
+        self._components -= 1
+        return True
+
+    def connected(self, x: Hashable, y: Hashable) -> bool:
+        """Whether ``x`` and ``y`` are in the same component."""
+        return self.find(x) == self.find(y)
+
+    def component_size(self, x: Hashable) -> int:
+        """Number of elements in ``x``'s component."""
+        return self._size[self.find(x)]
+
+    @property
+    def n_components(self) -> int:
+        """Number of distinct components among registered elements."""
+        return self._components
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, x: Hashable) -> bool:
+        return x in self._parent
+
+    def representatives(self) -> Iterator[Hashable]:
+        """Iterate over one canonical element per component."""
+        for x in self._parent:
+            if self.find(x) == x:
+                yield x

@@ -1,0 +1,33 @@
+"""Message-size measurement in O(log n)-bit words.
+
+The paper measures message length "in units of O(log n) bits" (Sect. 1.1):
+one word holds a vertex identifier, a distance, a round number, etc.  Our
+simulator charges messages by the number of such words they carry.  The
+rules, matching that convention:
+
+* ``None`` costs 0 words (an empty/flag-only message),
+* ints, floats, bools and short strings cost 1 word,
+* tuples/lists/sets/frozensets cost the sum of their items,
+* dicts cost the sum over keys and values.
+
+Anything else costs 1 word per occurrence (opaque token).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def message_words(payload: Any) -> int:
+    """Return the length of ``payload`` in O(log n)-bit words."""
+    if payload is None:
+        return 0
+    if isinstance(payload, (int, float, bool, str)):
+        return 1
+    if isinstance(payload, (tuple, list, set, frozenset)):
+        return sum(message_words(item) for item in payload)
+    if isinstance(payload, dict):
+        return sum(
+            message_words(k) + message_words(v) for k, v in payload.items()
+        )
+    return 1

@@ -1,0 +1,112 @@
+"""Tests for the pipelined broadcast primitive and the distributed
+additive-2 spanner protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.additive_protocol import distributed_additive2
+from repro.distributed.primitives import pipelined_broadcast_protocol
+from repro.graphs import Graph, bfs_distances, erdos_renyi_gnp, grid_2d, path
+from repro.spanner import verify_connectivity, verify_spanner_guarantee
+
+
+class TestPipelinedBroadcast:
+    def test_exact_distances_uncapped(self):
+        g = grid_2d(6, 6)
+        sources = [0, 35]
+        known, _ = pipelined_broadcast_protocol(g, sources, max_rounds=100)
+        for s in sources:
+            truth = bfs_distances(g, s)
+            for v, d in truth.items():
+                assert known[v][s][0] == d
+
+    def test_exact_distances_under_tight_cap(self):
+        # The defining property: caps delay but never distort distances.
+        g = erdos_renyi_gnp(60, 0.1, seed=1)
+        sources = [v for v in g.vertices() if v % 5 == 0]
+        known, stats = pipelined_broadcast_protocol(
+            g, sources, max_rounds=4000, max_message_words=2
+        )
+        assert stats.violations == 0
+        for s in sources:
+            truth = bfs_distances(g, s)
+            for v, d in truth.items():
+                assert known[v][s][0] == d
+
+    def test_parents_form_shortest_path_trees(self):
+        g = grid_2d(5, 5)
+        known, _ = pipelined_broadcast_protocol(g, [0], max_rounds=100)
+        for v, entry in known.items():
+            d, parent = entry[0]
+            if d > 0:
+                assert known[parent][0][0] == d - 1
+
+    def test_cap_costs_rounds(self):
+        g = erdos_renyi_gnp(80, 0.1, seed=2)
+        sources = sorted(g.vertices())[:20]
+        _, wide = pipelined_broadcast_protocol(
+            g, sources, max_rounds=4000
+        )
+        _, narrow = pipelined_broadcast_protocol(
+            g, sources, max_rounds=4000, max_message_words=2
+        )
+        assert narrow.rounds > wide.rounds
+        assert narrow.max_message_words <= 2
+
+
+class TestDistributedAdditive2:
+    def test_additive_2_guarantee(self):
+        g = erdos_renyi_gnp(150, 0.15, seed=3)
+        sp = distributed_additive2(g, seed=4)
+        ok, worst = verify_spanner_guarantee(
+            g, sp.subgraph(), alpha=1.0, beta=2.0,
+            num_sources=30, seed=5,
+        )
+        assert ok, worst
+
+    def test_guarantee_survives_width_cap(self):
+        g = erdos_renyi_gnp(120, 0.2, seed=6)
+        sp = distributed_additive2(g, seed=7, max_message_words=4)
+        ok, worst = verify_spanner_guarantee(
+            g, sp.subgraph(), alpha=1.0, beta=2.0,
+            num_sources=20, seed=8,
+        )
+        assert ok, worst
+        assert sp.metadata["network_stats"].violations == 0
+
+    def test_connectivity(self, any_graph):
+        sp = distributed_additive2(any_graph, seed=9)
+        assert verify_connectivity(any_graph, sp.subgraph())
+
+    def test_width_time_tradeoff_measured(self):
+        # The Theorem 5 resource floor: capping the width inflates the
+        # tree phase's rounds roughly by |D| / cap.
+        g = erdos_renyi_gnp(200, 0.25, seed=10)
+        wide = distributed_additive2(g, seed=11)
+        narrow = distributed_additive2(g, seed=11, max_message_words=4)
+        assert narrow.metadata["tree_phase_rounds"] > (
+            wide.metadata["tree_phase_rounds"]
+        )
+        assert narrow.metadata["tree_phase_max_words"] <= 4
+        # Uncapped width scales with the dominator count.
+        assert wide.metadata["tree_phase_max_words"] >= min(
+            4, wide.metadata["dominators"]
+        )
+
+    def test_matches_sequential_semantics(self):
+        from repro.baselines import additive2_spanner
+
+        g = erdos_renyi_gnp(150, 0.2, seed=12)
+        dist_sp = distributed_additive2(g, seed=13)
+        seq_sp = additive2_spanner(g, seed=14)
+        # Same construction family: sizes in the same regime.
+        assert 0.5 < dist_sp.size / max(1, seq_sp.size) < 2.0
+
+    def test_empty_graph(self):
+        assert distributed_additive2(Graph(), seed=1).size == 0
+
+    def test_light_graph_kept_whole(self):
+        g = path(20)
+        sp = distributed_additive2(g, seed=15)
+        assert sp.size == g.m

@@ -1,0 +1,225 @@
+"""Tests for the applications layer: distance oracle, routing,
+synchronizer, and the Corollary 1 combined spanner."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.applications import (
+    DistanceOracle,
+    TreeRouter,
+    overlay_report,
+    spanner_router,
+)
+from repro.core import build_combined_spanner, build_skeleton
+from repro.core.combined import corollary1_uniform_bound
+from repro.graphs import (
+    Graph,
+    balanced_tree,
+    bfs_distances,
+    erdos_renyi_gnp,
+    grid_2d,
+    path,
+)
+from repro.spanner import verify_connectivity
+
+
+class TestDistanceOracle:
+    def test_k1_is_exact(self):
+        g = grid_2d(6, 6)
+        oracle = DistanceOracle(g, k=1, seed=1)
+        truth = bfs_distances(g, 0)
+        for v, d in truth.items():
+            assert oracle.query(0, v) == d
+
+    def test_stretch_bound_holds(self):
+        g = erdos_renyi_gnp(200, 0.05, seed=2)
+        for k in (2, 3):
+            oracle = DistanceOracle(g, k=k, seed=3)
+            for source in (0, 50, 100):
+                truth = bfs_distances(g, source)
+                for v, d in truth.items():
+                    if v == source:
+                        continue
+                    est = oracle.query(source, v)
+                    assert d <= est <= (2 * k - 1) * d
+
+    def test_query_never_underestimates(self):
+        g = grid_2d(8, 8)
+        oracle = DistanceOracle(g, k=2, seed=4)
+        truth = bfs_distances(g, 0)
+        for v, d in truth.items():
+            assert oracle.query(0, v) >= d
+
+    def test_disconnected_pairs_are_infinite(self):
+        g = Graph(edges=[(0, 1), (2, 3)])
+        oracle = DistanceOracle(g, k=2, seed=5)
+        assert oracle.query(0, 2) == float("inf")
+
+    def test_same_vertex(self):
+        g = path(5)
+        oracle = DistanceOracle(g, k=2, seed=6)
+        assert oracle.query(3, 3) == 0
+
+    def test_space_bound(self):
+        g = erdos_renyi_gnp(300, 0.05, seed=7)
+        oracle = DistanceOracle(g, k=3, seed=8)
+        # Expected size O(k n^{1+1/k}); allow a small constant.
+        assert oracle.size <= 4 * oracle.expected_size_bound()
+
+    def test_space_shrinks_with_k(self):
+        g = erdos_renyi_gnp(300, 0.08, seed=9)
+        sizes = [DistanceOracle(g, k=k, seed=10).size for k in (1, 3)]
+        assert sizes[1] < sizes[0]
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            DistanceOracle(path(3), k=0)
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=10, deadline=None)
+    def test_random_graph_stretch_property(self, seed):
+        g = erdos_renyi_gnp(60, 0.1, seed=seed)
+        oracle = DistanceOracle(g, k=2, seed=seed + 1)
+        truth = bfs_distances(g, 0)
+        for v, d in truth.items():
+            if v:
+                assert d <= oracle.query(0, v) <= 3 * d
+
+
+class TestTreeRouter:
+    def test_routes_follow_tree_paths(self):
+        tree = balanced_tree(2, 3)
+        router = TreeRouter(tree)
+        route = router.route(7, 14)
+        assert route is not None
+        assert route[0] == 7 and route[-1] == 14
+        # Every hop is a tree edge.
+        for a, b in zip(route, route[1:]):
+            assert tree.has_edge(a, b)
+        # Tree routes are exactly the tree distance.
+        assert len(route) - 1 == bfs_distances(tree, 7)[14]
+
+    def test_all_pairs_on_small_tree(self):
+        tree = balanced_tree(3, 2)
+        router = TreeRouter(tree)
+        truth = {v: bfs_distances(tree, v) for v in tree.vertices()}
+        for u in tree.vertices():
+            for v in tree.vertices():
+                route = router.route(u, v)
+                assert len(route) - 1 == truth[u][v]
+
+    def test_path_graph_routing(self):
+        tree = path(10)
+        router = TreeRouter(tree)
+        assert router.route(0, 9) == list(range(10))
+        assert router.route(9, 0) == list(range(9, -1, -1))
+
+    def test_disconnected_forest(self):
+        forest = Graph(edges=[(0, 1), (2, 3)])
+        router = TreeRouter(forest)
+        assert router.route(0, 1) == [0, 1]
+        assert router.route(0, 3) is None
+
+    def test_table_sizes_compact(self):
+        tree = balanced_tree(2, 5)
+        router = TreeRouter(tree)
+        for v in tree.vertices():
+            assert router.table_words(v) <= 2 * tree.degree(v) + 3
+
+    def test_next_hop_at_target_is_none(self):
+        router = TreeRouter(path(4))
+        assert router.next_hop(2, 2) is None
+
+
+class TestSpannerRouter:
+    def test_routing_over_skeleton(self):
+        g = erdos_renyi_gnp(150, 0.08, seed=11)
+        skeleton = build_skeleton(g, D=4, seed=12)
+        router = spanner_router(skeleton)
+        truth = bfs_distances(g, 0)
+        worst = 0.0
+        for v in sorted(truth)[:40]:
+            if v == 0:
+                continue
+            route = router.route(0, v)
+            assert route is not None
+            worst = max(worst, (len(route) - 1) / truth[v])
+        # Tree routing over a skeleton: stretch bounded by twice the
+        # tree's radius over the true distance — finite and modest here.
+        assert worst < 4 * math.log2(g.n)
+
+    def test_router_covers_all_components(self):
+        g = Graph(edges=[(0, 1), (1, 2), (5, 6)])
+        g.add_vertex(9)
+        skeleton = build_skeleton(g, D=4, seed=13)
+        router = spanner_router(skeleton)
+        assert router.route(0, 2) is not None
+        assert router.route(5, 6) is not None
+        assert router.route(0, 6) is None
+
+
+class TestSynchronizerOverlay:
+    def test_report_measures_tradeoff(self):
+        g = erdos_renyi_gnp(250, 0.06, seed=14)
+        skeleton = build_skeleton(g, D=4, seed=15)
+        report = overlay_report(g, skeleton, root=0)
+        assert report.full.reached == report.overlay.reached == g.n
+        assert report.message_savings > 1.0
+        assert report.latency_penalty >= 1.0
+        # Latency penalty is bounded by the skeleton's measured stretch.
+        stretch = skeleton.stretch(num_sources=10, seed=1)
+        assert report.latency_penalty <= stretch.max_multiplicative + 1e-9
+
+    def test_flood_on_tree_overlay(self):
+        from repro.baselines import bfs_forest
+
+        g = grid_2d(8, 8)
+        forest = bfs_forest(g)
+        report = overlay_report(g, forest, root=0)
+        assert report.overlay.messages < report.full.messages
+        assert report.overlay.reached == g.n
+
+
+class TestCombinedSpanner:
+    def test_union_of_both_constructions(self):
+        g = erdos_renyi_gnp(200, 0.06, seed=16)
+        combined = build_combined_spanner(g, order=2, seed=17)
+        assert combined.size >= combined.metadata["skeleton_size"]
+        assert combined.size >= combined.metadata["fibonacci_size"]
+        assert verify_connectivity(g, combined.subgraph())
+
+    def test_inherits_uniform_bound(self):
+        g = erdos_renyi_gnp(200, 0.06, seed=18)
+        combined = build_combined_spanner(g, order=2, seed=19)
+        bound = corollary1_uniform_bound(g.n)
+        stats = combined.stretch(num_sources=25, seed=1)
+        assert stats.max_multiplicative <= bound
+
+    def test_distributed_combined_spanner(self):
+        from repro.core.combined import distributed_combined_spanner
+
+        g = erdos_renyi_gnp(120, 0.07, seed=30)
+        combined = distributed_combined_spanner(g, order=2, seed=31)
+        assert verify_connectivity(g, combined.subgraph())
+        stats = combined.metadata["network_stats"]
+        assert stats.rounds > 0
+        assert combined.size >= max(
+            combined.metadata["fibonacci_size"],
+            combined.metadata["skeleton_size"],
+        )
+
+    def test_combined_no_worse_than_parts(self):
+        # Union distortion <= min of the two parts' distortion.
+        g = grid_2d(12, 12)
+        combined = build_combined_spanner(
+            g, order=2, ell=5, probabilities=[0.15, 0.02], D=4, seed=20
+        )
+        skeleton = build_skeleton(g, D=4, seed=21)
+        cs = combined.stretch(num_sources=20, seed=2)
+        ss = skeleton.stretch(num_sources=20, seed=2)
+        assert cs.mean_multiplicative <= ss.mean_multiplicative + 1e-9

@@ -1,0 +1,63 @@
+"""Tests for the ASCII plotting utilities."""
+
+from __future__ import annotations
+
+from repro.analysis.ascii_plot import ascii_curve, ascii_histogram
+
+
+class TestAsciiCurve:
+    def test_basic_rendering(self):
+        out = ascii_curve([(0, 0), (1, 1), (2, 4)], width=20, height=5,
+                          title="t")
+        assert "t" in out
+        assert "o" in out
+        assert out.count("\n") >= 6
+
+    def test_empty_data(self):
+        assert ascii_curve([]) == "(no data)"
+
+    def test_infinities_filtered(self):
+        out = ascii_curve([(0, 1), (1, float("inf"))], width=10, height=4)
+        assert "o" in out
+
+    def test_constant_series(self):
+        out = ascii_curve([(0, 5), (1, 5), (2, 5)], width=10, height=4)
+        assert out.count("o") == 3
+
+    def test_y_floor_extends_axis(self):
+        with_floor = ascii_curve([(0, 2), (1, 3)], y_floor=1.0,
+                                 width=10, height=4)
+        # The bottom grid row (above the axis, x-labels, legend lines)
+        # carries the floored y-axis label.
+        assert with_floor.splitlines()[-4].strip().startswith("1")
+
+    def test_axis_labels_present(self):
+        out = ascii_curve([(0, 0), (10, 1)], x_label="d", y_label="s",
+                          width=12, height=4)
+        assert "[d -> ; s ^]" in out
+
+    def test_marker_count_bounded_by_points(self):
+        points = [(i, i * i) for i in range(8)]
+        out = ascii_curve(points, width=30, height=10)
+        assert 1 <= out.count("o") <= len(points)
+
+
+class TestAsciiHistogram:
+    def test_counts_sum(self):
+        out = ascii_histogram([1, 1, 2, 3, 3, 3], bins=3)
+        total = sum(
+            int(line.split(")")[1].split()[0])
+            for line in out.splitlines()
+            if ")" in line
+        )
+        assert total == 6
+
+    def test_empty(self):
+        assert ascii_histogram([]) == "(no data)"
+
+    def test_title(self):
+        assert ascii_histogram([1, 2], title="hello").startswith("hello")
+
+    def test_single_value(self):
+        out = ascii_histogram([5.0, 5.0], bins=4)
+        assert "2" in out

@@ -1,0 +1,188 @@
+"""Tests for the baseline spanner constructions (Fig. 1 comparators)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    additive2_spanner,
+    baswana_sen_spanner,
+    bfs_forest,
+    girth_skeleton,
+    greedy_spanner,
+)
+from repro.baselines.girth_skeleton import required_neighborhood_radius
+from repro.graphs import (
+    Graph,
+    complete,
+    connected_components,
+    erdos_renyi_gnp,
+    girth,
+    grid_2d,
+    path,
+)
+from repro.spanner import (
+    verify_connectivity,
+    verify_spanner_guarantee,
+    verify_subgraph,
+)
+
+
+class TestBaswanaSen:
+    def test_2k_minus_1_guarantee(self, any_graph):
+        k = 3
+        sp = baswana_sen_spanner(any_graph, k, seed=1)
+        ok, worst = verify_spanner_guarantee(
+            any_graph, sp.subgraph(), alpha=2 * k - 1
+        )
+        assert ok, worst
+
+    def test_connectivity(self, any_graph):
+        sp = baswana_sen_spanner(any_graph, 3, seed=2)
+        assert verify_connectivity(any_graph, sp.subgraph())
+
+    def test_k1_returns_whole_graph(self):
+        g = grid_2d(4, 4)
+        sp = baswana_sen_spanner(g, 1, seed=3)
+        assert sp.size == g.m
+
+    def test_size_shrinks_with_k(self):
+        g = erdos_renyi_gnp(400, 0.15, seed=4)
+        sizes = [
+            sum(
+                baswana_sen_spanner(g, k, seed=s).size for s in range(3)
+            ) / 3
+            for k in (2, 4)
+        ]
+        assert sizes[1] < sizes[0]
+
+    def test_size_near_theory(self):
+        # Expected size ~ O(k n^{1+1/k} + kn); check a generous multiple.
+        g = erdos_renyi_gnp(500, 0.2, seed=5)
+        k = 3
+        sp = baswana_sen_spanner(g, k, seed=6)
+        bound = k * g.n ** (1 + 1 / k) + k * g.n
+        assert sp.size < 2 * bound
+
+    def test_validates_k(self):
+        with pytest.raises(ValueError):
+            baswana_sen_spanner(path(4), 0)
+
+    def test_empty_graph(self):
+        assert baswana_sen_spanner(Graph(), 3).size == 0
+
+
+class TestGreedy:
+    def test_stretch_guarantee_exact(self, any_graph):
+        sp = greedy_spanner(any_graph, 3)
+        ok, worst = verify_spanner_guarantee(
+            any_graph, sp.subgraph(), alpha=3
+        )
+        assert ok, worst
+
+    def test_girth_exceeds_stretch_plus_one(self):
+        g = erdos_renyi_gnp(150, 0.1, seed=7)
+        sp = greedy_spanner(g, 5)
+        assert girth(sp.subgraph()) > 6
+
+    def test_tree_input_unchanged(self):
+        from repro.graphs import balanced_tree
+
+        g = balanced_tree(2, 4)
+        sp = greedy_spanner(g, 3)
+        assert sp.size == g.m
+
+    def test_stretch_one_keeps_everything(self):
+        g = complete(8)
+        assert greedy_spanner(g, 1).size == g.m
+
+    def test_edge_order_respected(self):
+        g = complete(4)
+        # Processing (2,3) first keeps it; default order keeps (0,1) etc.
+        sp = greedy_spanner(g, 3, edge_order=[(2, 3), (0, 1), (0, 2),
+                                              (0, 3), (1, 2), (1, 3)])
+        assert (2, 3) in sp.edges
+
+    def test_validates_stretch(self):
+        with pytest.raises(ValueError):
+            greedy_spanner(path(3), 0)
+
+
+class TestGirthSkeleton:
+    def test_linear_size(self):
+        g = erdos_renyi_gnp(300, 0.2, seed=8)
+        sp = girth_skeleton(g)
+        # girth > 2 log n forces O(n) edges; constant is tiny in practice.
+        assert sp.size < 2 * g.n
+
+    def test_girth_property(self):
+        g = erdos_renyi_gnp(200, 0.15, seed=9)
+        sp = girth_skeleton(g)
+        stretch = sp.metadata["stretch"]
+        assert girth(sp.subgraph()) > stretch + 1
+
+    def test_distortion_guarantee(self):
+        g = erdos_renyi_gnp(150, 0.12, seed=10)
+        sp = girth_skeleton(g)
+        ok, worst = verify_spanner_guarantee(
+            g, sp.subgraph(), alpha=sp.metadata["stretch"]
+        )
+        assert ok, worst
+
+    def test_required_radius_is_theta_log_n(self):
+        assert required_neighborhood_radius(2**10) == 19
+        assert required_neighborhood_radius(2**20) == 39
+
+
+class TestAdditive2:
+    def test_additive_2_guarantee_exact(self):
+        g = erdos_renyi_gnp(200, 0.15, seed=11)
+        sp = additive2_spanner(g, seed=12)
+        ok, worst = verify_spanner_guarantee(
+            g, sp.subgraph(), alpha=1.0, beta=2.0
+        )
+        assert ok, worst
+
+    def test_sparser_than_dense_host(self):
+        g = erdos_renyi_gnp(300, 0.5, seed=13)
+        sp = additive2_spanner(g, seed=14)
+        assert sp.size < g.m
+
+    def test_light_graph_kept_verbatim(self):
+        g = grid_2d(6, 6)  # all degrees < threshold
+        sp = additive2_spanner(g, seed=15)
+        assert sp.size == g.m
+
+    def test_custom_threshold(self):
+        g = erdos_renyi_gnp(150, 0.3, seed=16)
+        sp = additive2_spanner(g, threshold=5, seed=17)
+        assert sp.metadata["threshold"] == 5
+        ok, _ = verify_spanner_guarantee(
+            g, sp.subgraph(), alpha=1.0, beta=2.0
+        )
+        assert ok
+
+    def test_empty_graph(self):
+        assert additive2_spanner(Graph()).size == 0
+
+
+class TestBfsForest:
+    def test_tree_per_component(self):
+        g = Graph(edges=[(0, 1), (1, 2), (4, 5)])
+        g.add_vertex(9)
+        sp = bfs_forest(g)
+        comps = connected_components(g)
+        assert sp.size == sum(len(c) - 1 for c in comps)
+        assert verify_connectivity(g, sp.subgraph())
+
+    def test_acyclic(self):
+        g = erdos_renyi_gnp(120, 0.1, seed=18)
+        sp = bfs_forest(g)
+        assert girth(sp.subgraph()) == float("inf")
+
+    def test_subgraph(self, any_graph):
+        sp = bfs_forest(any_graph)
+        assert verify_subgraph(any_graph, sp.edges)
+        assert verify_connectivity(any_graph, sp.subgraph())

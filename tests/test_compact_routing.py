@@ -1,0 +1,94 @@
+"""Tests for the Thorup–Zwick compact routing scheme."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.applications import CompactRouter
+from repro.graphs import Graph, bfs_distances, erdos_renyi_gnp, grid_2d, path
+
+
+class TestCompactRouter:
+    def test_routes_are_real_paths(self):
+        g = grid_2d(7, 7)
+        router = CompactRouter(g, k=2, seed=1)
+        for target in (5, 24, 48):
+            route = router.route(0, target)
+            assert route is not None
+            assert route[0] == 0 and route[-1] == target
+            assert router.verify_route(route)
+
+    def test_stretch_bound(self):
+        g = erdos_renyi_gnp(150, 0.06, seed=2)
+        for k in (2, 3):
+            router = CompactRouter(g, k=k, seed=3)
+            truth = bfs_distances(g, 0)
+            for v, d in sorted(truth.items())[:60]:
+                if v == 0:
+                    continue
+                route = router.route(0, v)
+                assert route is not None
+                assert len(route) - 1 <= (2 * k - 1) * d
+
+    def test_route_length_equals_oracle_estimate(self):
+        g = grid_2d(6, 6)
+        router = CompactRouter(g, k=2, seed=4)
+        for v in (7, 20, 35):
+            route = router.route(0, v)
+            assert len(route) - 1 == router.oracle.query(0, v)
+
+    def test_all_pairs_on_small_graph(self):
+        g = erdos_renyi_gnp(40, 0.15, seed=5)
+        router = CompactRouter(g, k=2, seed=6)
+        for u in g.vertices():
+            truth = bfs_distances(g, u)
+            for v, d in truth.items():
+                route = router.route(u, v)
+                assert route is not None
+                assert route[0] == u and route[-1] == v
+                assert router.verify_route(route)
+                assert len(route) - 1 <= 3 * d
+
+    def test_same_vertex(self):
+        router = CompactRouter(path(4), k=2, seed=7)
+        assert router.route(2, 2) == [2]
+
+    def test_disconnected(self):
+        g = Graph(edges=[(0, 1), (3, 4)])
+        router = CompactRouter(g, k=2, seed=8)
+        assert router.route(0, 3) is None
+
+    def test_tables_are_compact(self):
+        g = erdos_renyi_gnp(300, 0.06, seed=9)
+        k = 3
+        router = CompactRouter(g, k=k, seed=10)
+        # Mean table size ~ O(k n^{1/k}) entries, a tiny fraction of n.
+        mean_entries = sum(
+            router.table_entries(v) for v in g.vertices()
+        ) / g.n
+        assert mean_entries < 6 * k * g.n ** (1 / k)
+        assert router.max_table_entries() < g.n
+
+    def test_k1_routes_are_shortest(self):
+        g = grid_2d(5, 5)
+        router = CompactRouter(g, k=1, seed=11)
+        truth = bfs_distances(g, 0)
+        for v, d in truth.items():
+            route = router.route(0, v)
+            assert len(route) - 1 == d
+
+    @given(st.integers(0, 400))
+    @settings(max_examples=12, deadline=None)
+    def test_property_routes_valid_and_bounded(self, seed):
+        g = erdos_renyi_gnp(35, 0.15, seed=seed)
+        router = CompactRouter(g, k=2, seed=seed + 1)
+        truth = bfs_distances(g, 0)
+        for v, d in truth.items():
+            if v == 0:
+                continue
+            route = router.route(0, v)
+            assert route is not None
+            assert router.verify_route(route)
+            assert len(route) - 1 <= 3 * d

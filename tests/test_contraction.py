@@ -1,0 +1,62 @@
+"""Tests for cluster contraction with edge witnesses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import Graph, canonical_edge, grid_2d
+from repro.graphs.contraction import contract, quotient_clusters
+
+
+class TestContract:
+    def test_basic_contraction(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        cluster_of = {0: 10, 1: 10, 2: 20, 3: 20}
+        contracted, witness = contract(g, cluster_of)
+        assert contracted.n == 2
+        assert contracted.m == 1
+        assert witness[(10, 20)] == (1, 2)
+
+    def test_loops_discarded(self):
+        g = Graph(edges=[(0, 1)])
+        contracted, witness = contract(g, {0: 5, 1: 5})
+        assert contracted.n == 1 and contracted.m == 0
+        assert witness == {}
+
+    def test_parallel_edges_collapse_deterministically(self):
+        g = Graph(edges=[(0, 2), (1, 3), (0, 3)])
+        cluster_of = {0: 0, 1: 0, 2: 2, 3: 2}
+        _, witness = contract(g, cluster_of)
+        # sorted edge order: (0,2) then (0,3) then (1,3) — first wins.
+        assert witness[(0, 2)] == (0, 2)
+
+    def test_incomplete_clustering_rejected(self):
+        g = Graph(edges=[(0, 1)])
+        with pytest.raises(ValueError):
+            contract(g, {0: 0})
+
+    def test_witness_composition(self):
+        # Contract twice; witnesses must trace back to the original graph.
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+        c1 = {0: 0, 1: 0, 2: 2, 3: 2, 4: 4, 5: 4}
+        g1, w1 = contract(g, c1)
+        c2 = {0: 0, 2: 0, 4: 4}
+        g2, w2 = contract(g1, c2, edge_witness=w1)
+        assert g2.n == 2 and g2.m == 1
+        original = w2[canonical_edge(0, 4)]
+        assert g.has_edge(*original)
+        assert original == (3, 4)
+
+    def test_contraction_preserves_connectivity_structure(self):
+        g = grid_2d(4, 4)
+        cluster_of = {v: v // 4 for v in g.vertices()}  # one per row
+        contracted, witness = contract(g, cluster_of)
+        assert contracted.n == 4
+        # Rows form a path of clusters.
+        assert contracted.m == 3
+        for e, orig in witness.items():
+            assert g.has_edge(*orig)
+
+    def test_quotient_clusters(self):
+        members = quotient_clusters({0: 9, 1: 9, 2: 5})
+        assert members == {9: [0, 1], 5: [2]}

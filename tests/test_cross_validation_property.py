@@ -1,0 +1,68 @@
+"""Property-based cross-validation: sequential vs distributed, at random.
+
+The strongest correctness evidence in the suite: for *arbitrary* random
+graphs and seeds, the skeleton protocol must evolve the exact same
+clustering as the sequential algorithm under shared randomness, and the
+Fibonacci protocol must agree with the sequential builder given the same
+level hierarchy.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_fibonacci_spanner, build_skeleton
+from repro.core.fibonacci import FibonacciParams, sample_levels
+from repro.distributed import (
+    distributed_fibonacci_spanner,
+    distributed_skeleton,
+)
+from repro.graphs import erdos_renyi_gnp
+from repro.spanner import verify_connectivity
+from repro.util import make_prf
+
+
+class TestSkeletonCrossValidationProperty:
+    @given(
+        st.integers(8, 60),
+        st.floats(0.05, 0.35),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_cluster_evolution_identical(self, n, p, seed):
+        g = erdos_renyi_gnp(n, p, seed=seed)
+        seq = build_skeleton(g, D=4, prf=make_prf(seed))
+        dist = distributed_skeleton(g, D=4, seed=seed)
+        assert (
+            seq.metadata["cluster_counts"]
+            == dist.metadata["cluster_counts"]
+        )
+        assert verify_connectivity(g, dist.subgraph())
+        assert dist.metadata["network_stats"].violations == 0
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_sizes_track_each_other(self, seed):
+        g = erdos_renyi_gnp(80, 0.1, seed=seed)
+        seq = build_skeleton(g, D=4, prf=make_prf(seed))
+        dist = distributed_skeleton(g, D=4, seed=seed)
+        assert abs(seq.size - dist.size) <= 0.1 * max(seq.size, 10)
+
+
+class TestFibonacciCrossValidationProperty:
+    @given(
+        st.integers(20, 70),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_shared_levels_agree(self, n, seed):
+        g = erdos_renyi_gnp(n, 0.1, seed=seed)
+        params = FibonacciParams.resolve(g.n, order=2, ell=4)
+        levels = sample_levels(g, params, seed=seed)
+        seq = build_fibonacci_spanner(g, order=2, ell=4, levels=levels)
+        dist = distributed_fibonacci_spanner(
+            g, order=2, ell=4, levels=levels
+        )
+        assert verify_connectivity(g, dist.subgraph())
+        assert abs(seq.size - dist.size) <= max(4, 0.1 * seq.size)

@@ -1,0 +1,92 @@
+"""Tests for the Elkin–Zhang-style (1+eps, beta) superclustering spanner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.elkin_zhang import elkin_zhang_spanner, measured_beta
+from repro.graphs import chain_of_cliques, erdos_renyi_gnp, grid_2d, path
+from repro.spanner import verify_connectivity, verify_subgraph
+
+
+class TestConstruction:
+    def test_valid_spanner(self, any_graph):
+        sp = elkin_zhang_spanner(any_graph, eps=0.5, levels=3, seed=1)
+        assert verify_subgraph(any_graph, sp.edges)
+        assert verify_connectivity(any_graph, sp.subgraph())
+
+    def test_sparsifies_dense_graphs(self):
+        g = erdos_renyi_gnp(400, 0.15, seed=2)
+        sp = elkin_zhang_spanner(g, eps=0.5, levels=3, seed=3)
+        assert sp.size < 0.2 * g.m
+
+    def test_one_plus_eps_beta_guarantee_empirically(self):
+        g = erdos_renyi_gnp(300, 0.1, seed=4)
+        eps = 0.5
+        sp = elkin_zhang_spanner(g, eps=eps, levels=3, seed=5)
+        beta = measured_beta(g, sp, eps=eps, num_sources=25, seed=6)
+        # beta is an additive CONSTANT, far below the diameter scale.
+        assert beta < 20
+
+    def test_metadata_levels(self):
+        g = grid_2d(10, 10)
+        sp = elkin_zhang_spanner(g, eps=0.5, levels=2, seed=7)
+        assert len(sp.metadata["level_stats"]) <= 2
+        assert "survivors" in sp.metadata
+
+    def test_custom_probabilities(self):
+        g = path(30)
+        sp = elkin_zhang_spanner(
+            g, eps=0.5, levels=2, seed=8,
+            sample_probabilities=[0.5, 0.1],
+        )
+        assert verify_connectivity(g, sp.subgraph())
+
+    def test_probability_count_validated(self):
+        with pytest.raises(ValueError):
+            elkin_zhang_spanner(
+                path(5), levels=2, sample_probabilities=[0.5]
+            )
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            elkin_zhang_spanner(path(5), eps=0)
+        with pytest.raises(ValueError):
+            elkin_zhang_spanner(path(5), levels=0)
+
+    def test_deterministic(self):
+        g = erdos_renyi_gnp(100, 0.08, seed=9)
+        a = elkin_zhang_spanner(g, seed=10)
+        b = elkin_zhang_spanner(g, seed=10)
+        assert a.edges == b.edges
+
+
+class TestEZSignature:
+    def test_more_levels_never_denser(self):
+        # The EZ trade: levels buy sparsity at the cost of beta.
+        g = erdos_renyi_gnp(400, 0.1, seed=11)
+        sizes = [
+            elkin_zhang_spanner(g, eps=0.5, levels=lv, seed=12).size
+            for lv in (2, 4)
+        ]
+        assert sizes[1] <= sizes[0] * 1.1
+
+    def test_beta_zero_when_keeping_everything(self):
+        # levels=1 with probability 1: everything joins one cluster...
+        # use the trivial check that measured_beta of the full graph is 0.
+        g = grid_2d(6, 6)
+        from repro.spanner import Spanner
+
+        full = Spanner(g, g.edges(), {"algorithm": "full"})
+        assert measured_beta(g, full, eps=0.5) == 0.0
+
+    def test_clique_chain_long_range_near_optimal(self):
+        g = chain_of_cliques(10, 8, link_length=3)
+        eps = 0.5
+        sp = elkin_zhang_spanner(g, eps=eps, levels=3, seed=13)
+        from repro.spanner import distance_profile
+
+        profile = distance_profile(g, sp.subgraph(), num_sources=25,
+                                   seed=14)
+        far = [mx for d, (_, mx, _) in profile.items() if d >= 15]
+        assert far and max(far) <= 1 + eps + 0.5

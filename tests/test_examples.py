@@ -1,0 +1,29 @@
+"""Smoke tests: every example script runs to completion."""
+
+from __future__ import annotations
+
+import os
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+SCRIPTS = sorted(
+    f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+def test_examples_directory_has_required_scripts():
+    assert "quickstart.py" in SCRIPTS
+    assert len(SCRIPTS) >= 3
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script, capsys):
+    runpy.run_path(
+        os.path.join(EXAMPLES_DIR, script), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert out.strip()  # every example narrates what it did

@@ -1,0 +1,133 @@
+"""Tests for the Expand procedure (Fig. 2) and Clustering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Clustering, expand
+from repro.graphs import Graph, complete, grid_2d, path, star
+
+
+class TestClustering:
+    def test_trivial(self):
+        c = Clustering.trivial([1, 2, 3])
+        assert c.num_clusters == 3
+        assert c.center(2) == 2
+
+    def test_members_inversion(self):
+        c = Clustering({1: 9, 2: 9, 3: 3})
+        assert c.members() == {9: [1, 2], 3: [3]}
+        assert c.centers() == {9, 3}
+
+    def test_completeness_check(self):
+        c = Clustering({1: 1})
+        assert c.is_complete_over([1])
+        assert not c.is_complete_over([1, 2])
+
+    def test_len_and_iter(self):
+        c = Clustering({1: 1, 2: 1})
+        assert len(c) == 2 and set(c) == {1, 2}
+
+
+class TestExpandSemantics:
+    def test_p_zero_kills_everyone(self):
+        g = path(5)
+        result = expand(g, Clustering.trivial(g.vertices()), 0.0)
+        assert sorted(result.died) == list(range(5))
+        assert len(result.clustering) == 0
+        assert result.join_edges == []
+
+    def test_p_zero_death_edges_cover_all_adjacent_clusters(self):
+        g = path(4)  # 0-1-2-3, singleton clusters
+        result = expand(g, Clustering.trivial(g.vertices()), 0.0)
+        # Every vertex dumps one edge per neighbor cluster; union = all
+        # edges of the path.
+        assert set(result.death_edges) == g.edge_set()
+
+    def test_all_sampled_means_no_edges(self):
+        g = complete(5)
+        result = expand(
+            g,
+            Clustering.trivial(g.vertices()),
+            0.99,
+            sampler=lambda c: True,
+        )
+        assert result.died == []
+        assert result.selected_edges == []
+        assert result.clustering.num_clusters == 5
+
+    def test_join_prefers_min_center(self):
+        # Star center 0 unsampled; leaves 1..4: only cluster {1} sampled.
+        g = star(5)
+        sampler = lambda c: c == 1
+        result = expand(g, Clustering.trivial(g.vertices()), 0.5, sampler=sampler)
+        # Vertex 0 joins cluster 1 via edge (0, 1).
+        assert result.clustering.center(0) == 1
+        assert (0, 1) in result.join_edges
+        # Leaves 2..4 are adjacent only to cluster {0} (unsampled): die.
+        assert sorted(result.died) == [2, 3, 4]
+
+    def test_sampled_cluster_retains_members(self):
+        g = path(3)
+        clustering = Clustering({0: 0, 1: 0, 2: 2})
+        result = expand(g, clustering, 0.5, sampler=lambda c: c == 0)
+        assert result.clustering.center(0) == 0
+        assert result.clustering.center(1) == 0
+        # Vertex 2 joins sampled cluster 0 via its neighbor 1.
+        assert result.clustering.center(2) == 0
+        assert (1, 2) in result.join_edges
+
+    def test_death_one_edge_per_cluster(self):
+        # Vertex 0 has two neighbors in the same cluster: dying, it must
+        # contribute exactly ONE edge to that cluster (min-id neighbor).
+        g = Graph(edges=[(0, 1), (0, 2)])
+        clustering = Clustering({0: 0, 1: 10, 2: 10})
+        result = expand(g, clustering, 0.5, sampler=lambda c: False)
+        assert sorted(result.died) == [0, 1, 2]
+        # vertex 0: one edge to cluster 10; vertices 1, 2: one each to
+        # cluster 0.  Without per-cluster dedup there would be 4 entries.
+        assert len(result.death_edges) == 3
+        assert result.death_edges.count((0, 1)) == 2  # from 0 and from 1
+
+    def test_output_clustering_complete_over_survivors(self):
+        g = grid_2d(4, 4)
+        result = expand(
+            g,
+            Clustering.trivial(g.vertices()),
+            0.3,
+            seed=3,
+        )
+        survivors = set(g.vertices()) - set(result.died)
+        assert set(result.clustering.cluster_of) == survivors
+        # All output clusters are sampled input clusters.
+        assert set(result.clustering.centers()) <= result.sampled
+
+    def test_isolated_unsampled_vertex_dies_quietly(self):
+        g = Graph(vertices=[7])
+        result = expand(g, Clustering.trivial([7]), 0.0)
+        assert result.died == [7]
+        assert result.selected_edges == []
+
+    def test_invalid_probability(self):
+        g = path(2)
+        with pytest.raises(ValueError):
+            expand(g, Clustering.trivial(g.vertices()), 1.0)
+
+    def test_seed_determinism(self):
+        g = grid_2d(5, 5)
+        r1 = expand(g, Clustering.trivial(g.vertices()), 0.4, seed=11)
+        r2 = expand(g, Clustering.trivial(g.vertices()), 0.4, seed=11)
+        assert r1.sampled == r2.sampled
+        assert r1.join_edges == r2.join_edges
+        assert r1.death_edges == r2.death_edges
+
+    def test_radius_grows_by_one(self):
+        # After one expand on singletons, sampled clusters span stars:
+        # every member is within 1 hop of the center.
+        g = grid_2d(5, 5)
+        result = expand(g, Clustering.trivial(g.vertices()), 0.4, seed=2)
+        for v, c in result.clustering.cluster_of.items():
+            assert v == c or g.has_edge(v, c) or any(
+                g.has_edge(v, u) and result.clustering.cluster_of.get(u) == c
+                for u in g.neighbors(v)
+            )

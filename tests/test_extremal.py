@@ -1,0 +1,99 @@
+"""Tests for the extremal high-girth graphs and the girth size bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import greedy_spanner
+from repro.graphs import girth, is_connected
+from repro.graphs.extremal import (
+    generalized_petersen,
+    heawood,
+    mcgee,
+    petersen,
+    polarity_free_incidence,
+)
+
+
+class TestNamedCages:
+    def test_petersen(self):
+        g = petersen()
+        assert g.n == 10 and g.m == 15
+        assert all(g.degree(v) == 3 for v in g.vertices())
+        assert girth(g) == 5
+
+    def test_heawood(self):
+        g = heawood()
+        assert g.n == 14 and g.m == 21
+        assert all(g.degree(v) == 3 for v in g.vertices())
+        assert girth(g) == 6
+
+    def test_mcgee(self):
+        g = mcgee()
+        assert g.n == 24 and g.m == 36
+        assert all(g.degree(v) == 3 for v in g.vertices())
+        assert girth(g) == 7
+
+    def test_generalized_petersen_family(self):
+        g = generalized_petersen(8, 3)
+        assert g.n == 16 and g.m == 24
+        assert is_connected(g)
+
+    def test_generalized_petersen_validation(self):
+        with pytest.raises(ValueError):
+            generalized_petersen(4, 2)
+
+
+class TestProjectivePlaneIncidence:
+    @pytest.mark.parametrize("q", [2, 3, 5])
+    def test_structure(self, q):
+        g = polarity_free_incidence(q)
+        n_side = q * q + q + 1
+        assert g.n == 2 * n_side
+        assert g.m == (q + 1) * n_side
+        assert all(g.degree(v) == q + 1 for v in g.vertices())
+        assert girth(g) == 6
+        assert is_connected(g)
+
+    def test_q2_is_heawood_sized(self):
+        g = polarity_free_incidence(2)
+        assert g.n == 14 and g.m == 21
+
+    def test_density_is_extremal(self):
+        # m = Theta(n^{3/2}): the densest girth-6 graphs possible.
+        g = polarity_free_incidence(5)
+        assert g.m > 0.5 * (g.n / 2) ** 1.5
+
+    def test_rejects_composite(self):
+        with pytest.raises(ValueError):
+            polarity_free_incidence(4)
+        with pytest.raises(ValueError):
+            polarity_free_incidence(1)
+
+
+class TestGirthSizeBound:
+    """The Sect. 1 mechanism: on girth > 2k graphs, spanners with
+    alpha + beta <= 2k - 1 must keep EVERY edge."""
+
+    @pytest.mark.parametrize(
+        "graph_fn,k",
+        [(petersen, 2), (heawood, 2), (mcgee, 3)],
+    )
+    def test_spanner_forced_to_keep_all_edges(self, graph_fn, k):
+        g = graph_fn()
+        sp = greedy_spanner(g, 2 * k - 1)
+        assert sp.size == g.m
+
+    def test_projective_plane_forces_dense_3_spanner(self):
+        # girth 6 > 4: every 3-spanner keeps all (q+1)(q^2+q+1) edges —
+        # the Omega(n^{3/2}) lower bound for k = 2.
+        g = polarity_free_incidence(3)
+        sp = greedy_spanner(g, 3)
+        assert sp.size == g.m
+        assert sp.size > (g.n / 2) ** 1.5 * 0.5
+
+    def test_bound_is_tight_for_the_threshold(self):
+        # One step past the girth: a (2k+1)-spanner may drop edges.
+        g = petersen()  # girth 5
+        sp = greedy_spanner(g, 5)
+        assert sp.size < g.m

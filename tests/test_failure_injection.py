@@ -1,0 +1,113 @@
+"""Failure-injection tests for the distributed protocols.
+
+The paper's protocols contain two safety valves:
+
+* the skeleton's line-7 abort (q > 4 s_i ln n): a dying supervertex that
+  has seen too many adjacent clusters keeps all boundary edges instead of
+  deduplicating (Theorem 2's proof, footnote 5);
+* the Fibonacci ball broadcast's cessation + Las-Vegas detection
+  (Sect. 4.4).
+
+Normal runs never trigger them (that's what the probabilities are chosen
+for); these tests force them and check correctness is preserved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed import (
+    distributed_fibonacci_spanner,
+    distributed_skeleton,
+)
+from repro.distributed.primitives import ball_broadcast_protocol
+from repro.graphs import complete, erdos_renyi_gnp, grid_2d, star
+from repro.spanner import verify_connectivity, verify_subgraph
+
+
+class TestSkeletonAbortPath:
+    def test_forced_abort_preserves_correctness(self):
+        # q_abort = 1: any dying supervertex with >= 2 adjacent clusters
+        # aborts.  The spanner must stay valid (just denser).
+        g = erdos_renyi_gnp(120, 0.08, seed=1)
+        sp = distributed_skeleton(g, D=4, seed=2, q_abort_override=1)
+        assert verify_subgraph(g, sp.edges)
+        assert verify_connectivity(g, sp.subgraph())
+
+    def test_forced_abort_is_counted(self):
+        g = erdos_renyi_gnp(150, 0.1, seed=3)
+        sp = distributed_skeleton(g, D=4, seed=4, q_abort_override=1)
+        assert sp.metadata["aborts"] > 0
+
+    def test_forced_abort_inflates_size(self):
+        g = erdos_renyi_gnp(150, 0.1, seed=5)
+        normal = distributed_skeleton(g, D=4, seed=6)
+        aborted = distributed_skeleton(g, D=4, seed=6, q_abort_override=1)
+        assert normal.metadata["aborts"] == 0
+        assert aborted.size >= normal.size
+
+    def test_normal_runs_never_abort(self):
+        # The paper's threshold makes aborts n^-4-rare; at these sizes
+        # they must simply never happen.
+        for seed in range(3):
+            g = erdos_renyi_gnp(200, 0.06, seed=seed)
+            sp = distributed_skeleton(g, D=4, seed=seed + 10)
+            assert sp.metadata["aborts"] == 0
+
+    def test_abort_on_dense_graph(self):
+        g = complete(40)
+        sp = distributed_skeleton(g, D=4, seed=7, q_abort_override=2)
+        assert verify_connectivity(g, sp.subgraph())
+
+
+class TestDeathPipelining:
+    def test_tiny_cap_still_correct(self):
+        # cap below a single candidate entry: everything must still work,
+        # just over more rounds (and audited violations for the 4-word
+        # join decisions).
+        g = erdos_renyi_gnp(100, 0.07, seed=8)
+        sp = distributed_skeleton(g, D=4, seed=9, max_message_words=7)
+        assert verify_connectivity(g, sp.subgraph())
+
+    def test_narrower_cap_costs_more_rounds(self):
+        g = erdos_renyi_gnp(200, 0.08, seed=10)
+        wide = distributed_skeleton(g, D=4, seed=11, max_message_words=64)
+        narrow = distributed_skeleton(g, D=4, seed=11, max_message_words=9)
+        assert (
+            narrow.metadata["network_stats"].rounds
+            >= wide.metadata["network_stats"].rounds
+        )
+
+
+class TestFibonacciCessation:
+    def test_hub_cessation_detected(self):
+        # A star hub relaying many sources under a 1-word cap must cease.
+        g = star(20)
+        known, ceased, _ = ball_broadcast_protocol(
+            g, sources=range(1, 20), radius=2, max_message_words=1
+        )
+        assert 0 in ceased
+
+    def test_detection_disabled_can_lose_paths_but_not_crash(self):
+        g = erdos_renyi_gnp(80, 0.1, seed=12)
+        sp = distributed_fibonacci_spanner(
+            g, order=2, seed=13, max_message_words=1,
+            failure_detection=False,
+        )
+        # Without detection the ball stage may under-connect; the forest
+        # stage still keeps the spanner a valid subgraph.
+        assert verify_subgraph(g, sp.edges)
+
+    def test_detection_enabled_restores_connectivity(self):
+        g = erdos_renyi_gnp(80, 0.1, seed=12)
+        sp = distributed_fibonacci_spanner(
+            g, order=2, seed=13, max_message_words=1,
+            failure_detection=True,
+        )
+        assert verify_connectivity(g, sp.subgraph())
+
+    def test_fallbacks_zero_at_theorem_cap(self):
+        # At the cap Theorem 8 prescribes, cessation is n^-Omega(1)-rare.
+        g = grid_2d(12, 12)
+        sp = distributed_fibonacci_spanner(g, order=2, t=2, seed=14)
+        assert sp.metadata["fallback_commands"] == 0

@@ -1,0 +1,99 @@
+"""Phase-level tests for the distributed Fibonacci construction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.fibonacci import FibonacciParams, sample_levels
+from repro.distributed import distributed_fibonacci_spanner
+from repro.graphs import bfs_distances, grid_2d, path, star
+
+
+class TestStageOneForests:
+    def test_forest_edges_match_definition(self):
+        # S_i forest part: edge (v, parent) iff 1 <= delta(v, V_i) <=
+        # ell^{i-1}; verify against ground truth on a fixed hierarchy.
+        g = path(20)
+        levels = [set(g.vertices()), {0, 19}]
+        sp = distributed_fibonacci_spanner(g, order=1, ell=4,
+                                           levels=levels)
+        # Stage 1 for i=1: radius ell^0 = 1 — only the direct neighbors
+        # of V_1 get forest edges; stage 2 (radius 4 balls) adds paths.
+        sub = sp.subgraph()
+        assert sub.has_edge(0, 1) and sub.has_edge(18, 19)
+
+    def test_empty_level_contributes_nothing(self):
+        g = path(10)
+        levels = [set(g.vertices()), set()]
+        sp = distributed_fibonacci_spanner(g, order=1, ell=3,
+                                           levels=levels)
+        # With V_1 empty, B_1 balls are uncut: the spanner is the graph.
+        assert sp.size == g.m
+
+
+class TestStageTwoBalls:
+    def test_ball_members_connected_at_true_distance(self):
+        g = grid_2d(8, 8)
+        params = FibonacciParams.resolve(g.n, order=2, ell=3)
+        levels = sample_levels(g, params, seed=1)
+        sp = distributed_fibonacci_spanner(g, order=2, ell=3,
+                                           levels=levels)
+        sub = sp.subgraph()
+        # For each collector x in V_0 and target u in B_1(x):
+        # delta_S(x, u) == delta(x, u).
+        for x in sorted(levels[0])[:12]:
+            dist_g = bfs_distances(g, x)
+            d_v1 = min(
+                (dist_g[u] for u in levels[1] if u in dist_g),
+                default=math.inf,
+            )
+            dist_s = bfs_distances(sub, x)
+            for u in levels[0]:
+                d = dist_g.get(u)
+                if d is not None and 1 <= d <= min(1, d_v1 - 1):
+                    assert dist_s.get(u) == d
+
+    def test_phase_stats_round_budgets(self):
+        g = grid_2d(6, 6)
+        sp = distributed_fibonacci_spanner(g, order=2, ell=3, seed=2)
+        for name, stats in sp.metadata["phase_stats"]:
+            if name.startswith("forest[1]"):
+                assert stats.rounds <= 1
+            if name.startswith("ball[0]"):
+                assert stats.rounds <= 1
+            if name.startswith("ball[2]"):
+                assert stats.rounds <= 9  # radius ell^2
+
+    def test_star_center_relays_everything(self):
+        g = star(12)
+        sp = distributed_fibonacci_spanner(
+            g, order=1, ell=3,
+            levels=[set(g.vertices()), {1, 2, 3}],
+        )
+        # All leaves are within distance 2 of V_1 members via the hub.
+        assert sp.verify(alpha=3)
+
+
+class TestFailureDetectionPhases:
+    def test_detect_phase_only_on_cessation(self):
+        g = grid_2d(6, 6)
+        clean = distributed_fibonacci_spanner(g, order=2, ell=3, seed=3)
+        names = [n for n, _ in clean.metadata["phase_stats"]]
+        assert not any(n.startswith("detect") for n in names)
+
+        stressed = distributed_fibonacci_spanner(
+            g, order=2, ell=3, seed=3, max_message_words=1
+        )
+        stressed_names = [n for n, _ in stressed.metadata["phase_stats"]]
+        assert any(n.startswith("detect") for n in stressed_names)
+
+    def test_fallback_is_connectivity_sound_on_star(self):
+        from repro.spanner import verify_connectivity
+
+        g = star(15)
+        sp = distributed_fibonacci_spanner(
+            g, order=1, ell=3, seed=4, max_message_words=1
+        )
+        assert verify_connectivity(g, sp.subgraph())

@@ -1,0 +1,138 @@
+"""Tests for the workload graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    balanced_tree,
+    barbell,
+    chain_of_cliques,
+    complete,
+    complete_bipartite,
+    cycle,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    grid_2d,
+    hypercube,
+    path,
+    preferential_attachment,
+    random_regular,
+    star,
+)
+from repro.graphs.generators import relabel_shuffled
+from repro.graphs.properties import diameter, girth, is_connected
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        g = path(10)
+        assert g.n == 10 and g.m == 9
+        assert diameter(g) == 9
+
+    def test_cycle(self):
+        g = cycle(8)
+        assert g.n == 8 and g.m == 8
+        assert girth(g) == 8
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle(2)
+
+    def test_star(self):
+        g = star(7)
+        assert g.m == 6 and g.degree(0) == 6
+
+    def test_complete(self):
+        g = complete(6)
+        assert g.m == 15 and girth(g) == 3
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite(3, 4)
+        assert g.n == 7 and g.m == 12
+        assert girth(g) == 4
+
+    def test_grid(self):
+        g = grid_2d(4, 5)
+        assert g.n == 20 and g.m == 4 * 4 + 3 * 5
+        assert girth(g) == 4
+        assert diameter(g) == 3 + 4
+
+    def test_torus_is_regular(self):
+        g = grid_2d(4, 4, torus=True)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_hypercube(self):
+        g = hypercube(4)
+        assert g.n == 16 and g.m == 32
+        assert diameter(g) == 4 and girth(g) == 4
+
+    def test_balanced_tree(self):
+        g = balanced_tree(2, 3)
+        assert g.n == 15 and g.m == 14
+        assert girth(g) == float("inf")
+
+    def test_barbell(self):
+        g = barbell(4, 5)
+        assert is_connected(g)
+        assert g.m == 2 * 6 + 5
+
+    def test_chain_of_cliques(self):
+        g = chain_of_cliques(3, 4, link_length=2)
+        assert is_connected(g)
+        assert g.m == 3 * 6 + 2 * 2
+        assert girth(g) == 3
+
+
+class TestRandomFamilies:
+    def test_gnp_seed_determinism(self):
+        a = erdos_renyi_gnp(100, 0.05, seed=1)
+        b = erdos_renyi_gnp(100, 0.05, seed=1)
+        assert a == b
+
+    def test_gnp_edge_count_plausible(self):
+        g = erdos_renyi_gnp(200, 0.05, seed=2)
+        expected = 0.05 * 200 * 199 / 2
+        assert 0.6 * expected < g.m < 1.4 * expected
+
+    def test_gnp_extremes(self):
+        assert erdos_renyi_gnp(10, 0.0, seed=1).m == 0
+        assert erdos_renyi_gnp(10, 1.0, seed=1).m == 45
+
+    def test_gnm_exact_count(self):
+        g = erdos_renyi_gnm(50, 100, seed=3)
+        assert g.n == 50 and g.m == 100
+
+    def test_gnm_rejects_impossible(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_gnm(5, 11)
+
+    def test_random_regular(self):
+        g = random_regular(30, 4, seed=4)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(ValueError):
+            random_regular(5, 3)
+
+    def test_random_regular_degree_bound(self):
+        with pytest.raises(ValueError):
+            random_regular(4, 4)
+
+    def test_preferential_attachment(self):
+        g = preferential_attachment(60, 2, seed=5)
+        assert g.n == 60
+        assert g.m == 3 + 2 * (60 - 3)
+        assert is_connected(g)
+
+    def test_preferential_attachment_validation(self):
+        with pytest.raises(ValueError):
+            preferential_attachment(5, 0)
+
+    def test_relabel_shuffled_preserves_structure(self):
+        g = grid_2d(4, 4)
+        shuffled, mapping = relabel_shuffled(g, seed=6)
+        assert shuffled.n == g.n and shuffled.m == g.m
+        assert girth(shuffled) == girth(g)
+        for u, v in g.edges():
+            assert shuffled.has_edge(mapping[u], mapping[v])

@@ -1,0 +1,133 @@
+"""Tests for the extra generators (caterpillar, small-world, geometric)
+and the report/CLI machinery."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.report import fig1_report, render_fig1
+from repro.graphs import (
+    caterpillar,
+    erdos_renyi_gnp,
+    girth,
+    is_connected,
+    random_geometric,
+    watts_strogatz,
+)
+
+
+class TestCaterpillar:
+    def test_structure(self):
+        g = caterpillar(5, 2)
+        assert g.n == 5 + 10
+        assert g.m == 4 + 10
+        assert girth(g) == float("inf")
+        assert is_connected(g)
+
+    def test_no_legs_is_path(self):
+        from repro.graphs import path
+
+        assert caterpillar(6, 0) == path(6)
+
+
+class TestWattsStrogatz:
+    def test_zero_beta_is_ring_lattice(self):
+        g = watts_strogatz(20, 4, 0.0, seed=1)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        assert g.m == 40
+
+    def test_rewiring_preserves_edge_count(self):
+        g = watts_strogatz(50, 4, 0.3, seed=2)
+        assert g.m == 100
+
+    def test_rewiring_shrinks_diameter(self):
+        from repro.graphs import diameter
+
+        lattice = watts_strogatz(100, 4, 0.0, seed=3)
+        small_world = watts_strogatz(100, 4, 0.3, seed=3)
+        assert diameter(small_world, exact=False) < diameter(
+            lattice, exact=False
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3, 0.1)
+        with pytest.raises(ValueError):
+            watts_strogatz(4, 4, 0.1)
+
+    def test_deterministic(self):
+        assert watts_strogatz(30, 4, 0.5, seed=4) == watts_strogatz(
+            30, 4, 0.5, seed=4
+        )
+
+
+class TestRandomGeometric:
+    def test_edges_respect_radius(self):
+        # Rebuild positions with the same seed and verify geometry.
+        import random
+
+        seed = 5
+        n, radius = 80, 0.2
+        g = random_geometric(n, radius, seed=seed)
+        rng = random.Random(seed)
+        positions = [(rng.random(), rng.random()) for _ in range(n)]
+        for u, v in g.edges():
+            (xu, yu), (xv, yv) = positions[u], positions[v]
+            assert math.hypot(xu - xv, yu - yv) <= radius + 1e-12
+        # And no within-radius pair was missed.
+        expected = sum(
+            1
+            for i in range(n)
+            for j in range(i + 1, n)
+            if math.hypot(
+                positions[i][0] - positions[j][0],
+                positions[i][1] - positions[j][1],
+            ) <= radius
+        )
+        assert g.m == expected
+
+    def test_larger_radius_denser(self):
+        sparse = random_geometric(100, 0.1, seed=6)
+        dense = random_geometric(100, 0.3, seed=6)
+        assert dense.m > sparse.m
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_geometric(10, 0)
+
+    def test_spanner_on_sensor_network(self):
+        # The deployment scenario: a geometric radio network.
+        from repro.core import build_skeleton
+        from repro.spanner import verify_connectivity
+
+        g = random_geometric(150, 0.18, seed=7)
+        sp = build_skeleton(g, D=4, seed=8)
+        assert verify_connectivity(g, sp.subgraph())
+
+
+class TestFig1Report:
+    def test_sequential_report(self):
+        g = erdos_renyi_gnp(120, 0.1, seed=9)
+        rows = fig1_report(g, seed=10, include_distributed=False,
+                           num_sources=10)
+        names = {r.name for r in rows}
+        assert "skeleton (Thm 2)" in names
+        assert "elkin-zhang (1+eps,beta)" in names
+        assert all(r.size <= g.m for r in rows)
+
+    def test_render(self):
+        g = erdos_renyi_gnp(80, 0.1, seed=11)
+        rows = fig1_report(g, seed=12, include_distributed=False,
+                           num_sources=5)
+        table = render_fig1(rows, title="demo")
+        assert "demo" in table
+        assert "skeleton" in table
+
+    def test_cli_main(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["80", "0.1", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out

@@ -1,0 +1,133 @@
+"""Tests for the Graph data structure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, canonical_edge
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=40
+)
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.n == 0 and g.m == 0
+
+    def test_add_vertex_idempotent(self):
+        g = Graph()
+        g.add_vertex(1)
+        g.add_vertex(1)
+        assert g.n == 1
+
+    def test_add_edge_creates_vertices(self):
+        g = Graph()
+        assert g.add_edge(1, 2)
+        assert g.n == 2 and g.m == 1
+        assert g.has_edge(2, 1)
+
+    def test_loops_rejected(self):
+        g = Graph()
+        assert not g.add_edge(3, 3)
+        assert g.m == 0
+
+    def test_duplicate_edges_rejected(self):
+        g = Graph(edges=[(1, 2), (2, 1)])
+        assert g.m == 1
+
+    def test_canonical_edge(self):
+        assert canonical_edge(5, 2) == (2, 5)
+        assert canonical_edge(2, 5) == (2, 5)
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        assert g.remove_edge(2, 1)
+        assert not g.has_edge(1, 2)
+        assert g.m == 1
+        assert not g.remove_edge(1, 2)
+
+    def test_remove_vertex_removes_incident_edges(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3)])
+        g.remove_vertex(2)
+        assert g.n == 2 and g.m == 1
+        assert g.has_edge(1, 3)
+
+    def test_remove_missing_vertex_is_noop(self):
+        g = Graph(edges=[(1, 2)])
+        g.remove_vertex(99)
+        assert g.n == 2
+
+
+class TestQueries:
+    def test_neighbors_and_degree(self):
+        g = Graph(edges=[(1, 2), (1, 3)])
+        assert g.neighbors(1) == {2, 3}
+        assert g.degree(1) == 2
+        assert g.degree(2) == 1
+
+    def test_edges_each_once(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3)])
+        edges = list(g.edges())
+        assert len(edges) == 3
+        assert all(u <= v for u, v in edges)
+
+    def test_contains(self):
+        g = Graph(vertices=[4])
+        assert 4 in g and 5 not in g
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = Graph(edges=[(1, 2)])
+        h = g.copy()
+        h.add_edge(2, 3)
+        assert g.m == 1 and h.m == 2
+
+    def test_subgraph(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 4)])
+        s = g.subgraph([2, 3, 4])
+        assert s.n == 3 and s.m == 2
+        assert not s.has_edge(1, 2)
+
+    def test_edge_subgraph_keeps_all_vertices(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        s = g.edge_subgraph([(1, 2)])
+        assert s.n == 3 and s.m == 1
+
+    def test_edge_subgraph_rejects_foreign_edges(self):
+        g = Graph(edges=[(1, 2)])
+        with pytest.raises(ValueError):
+            g.edge_subgraph([(1, 3)])
+
+    def test_equality(self):
+        assert Graph(edges=[(1, 2)]) == Graph(edges=[(2, 1)])
+        assert Graph(edges=[(1, 2)]) != Graph(edges=[(1, 3)])
+
+
+class TestInterop:
+    def test_networkx_roundtrip(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+        back = Graph.from_networkx(g.to_networkx())
+        assert back == g
+
+
+class TestProperties:
+    @given(edge_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_handshake_lemma(self, edges):
+        g = Graph(edges=edges)
+        assert sum(g.degree(v) for v in g.vertices()) == 2 * g.m
+
+    @given(edge_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_edge_iteration_matches_adjacency(self, edges):
+        g = Graph(edges=edges)
+        assert len(set(g.edges())) == g.m
+        for u, v in g.edges():
+            assert v in g.neighbors(u) and u in g.neighbors(v)

@@ -1,0 +1,92 @@
+"""Tests for edge-list I/O."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.graphs import erdos_renyi_gnp, grid_2d
+from repro.graphs.io import (
+    load_edge_list,
+    load_weighted_edge_list,
+    save_edge_list,
+    save_weighted_edge_list,
+)
+from repro.graphs.weighted import WeightedGraph
+
+
+class TestUnweightedIO:
+    def test_roundtrip_via_file(self, tmp_path):
+        g = erdos_renyi_gnp(60, 0.1, seed=1)
+        target = tmp_path / "graph.txt"
+        save_edge_list(g, target, header="test graph")
+        assert load_edge_list(target) == g
+
+    def test_roundtrip_via_stream(self):
+        g = grid_2d(4, 4)
+        buffer = io.StringIO()
+        save_edge_list(g, buffer)
+        buffer.seek(0)
+        assert load_edge_list(buffer) == g
+
+    def test_isolated_vertices_preserved(self):
+        from repro.graphs import Graph
+
+        g = Graph(edges=[(0, 1)])
+        g.add_vertex(7)
+        buffer = io.StringIO()
+        save_edge_list(g, buffer)
+        buffer.seek(0)
+        back = load_edge_list(buffer)
+        assert back == g
+        assert 7 in back
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# a comment\n\n0 1\n1 2  # trailing comment\n"
+        g = load_edge_list(io.StringIO(text))
+        assert g.n == 3 and g.m == 2
+
+    def test_header_written_as_comments(self):
+        buffer = io.StringIO()
+        save_edge_list(grid_2d(2, 2), buffer, header="line1\nline2")
+        text = buffer.getvalue()
+        assert text.startswith("# line1\n# line2\n")
+
+
+class TestWeightedIO:
+    def test_roundtrip(self, tmp_path):
+        g = WeightedGraph([(0, 1, 2.5), (1, 2, 1.0)])
+        g.add_vertex(9)
+        target = tmp_path / "weighted.txt"
+        save_weighted_edge_list(g, target)
+        back = load_weighted_edge_list(target)
+        assert list(back.edges()) == list(g.edges())
+        assert 9 in set(back.vertices())
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            load_weighted_edge_list(io.StringIO("0 1\n"))
+
+    def test_weights_parsed_as_floats(self):
+        g = load_weighted_edge_list(io.StringIO("0 1 2.75\n"))
+        assert g.weight(0, 1) == 2.75
+
+
+class TestPipelineWithIO:
+    def test_load_build_save(self, tmp_path):
+        # The release workflow: load a network, build a skeleton, save it.
+        from repro.core import build_skeleton
+
+        host = erdos_renyi_gnp(80, 0.08, seed=2)
+        host_file = tmp_path / "host.txt"
+        save_edge_list(host, host_file)
+
+        loaded = load_edge_list(host_file)
+        spanner = build_skeleton(loaded, D=4, seed=3)
+        out_file = tmp_path / "skeleton.txt"
+        save_edge_list(spanner.subgraph(), out_file,
+                       header="skeleton of host.txt")
+        back = load_edge_list(out_file)
+        assert back.m == spanner.size
+        assert back.n == host.n

@@ -1,0 +1,76 @@
+"""Tests for the distance labeling scheme (intro application [26, 38])."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.applications import DistanceLabeling
+from repro.graphs import Graph, bfs_distances, erdos_renyi_gnp, grid_2d, path
+
+
+class TestDistanceLabeling:
+    def test_queries_use_only_labels(self):
+        g = grid_2d(7, 7)
+        labeling = DistanceLabeling(g, k=2, seed=1)
+        # Extract labels, then forget the structure entirely.
+        labels = {v: labeling.label(v) for v in g.vertices()}
+        truth = bfs_distances(g, 0)
+        for v, d in truth.items():
+            if v == 0:
+                continue
+            est = DistanceLabeling.query(labels[0], labels[v])
+            assert d <= est <= 3 * d
+
+    def test_stretch_bound_over_k(self):
+        g = erdos_renyi_gnp(150, 0.06, seed=2)
+        for k in (2, 3):
+            labeling = DistanceLabeling(g, k=k, seed=3)
+            truth = bfs_distances(g, 0)
+            for v, d in truth.items():
+                if v == 0:
+                    continue
+                est = DistanceLabeling.query(
+                    labeling.label(0), labeling.label(v)
+                )
+                assert d <= est <= (2 * k - 1) * d
+
+    def test_k1_labels_are_exact_but_huge(self):
+        g = path(12)
+        labeling = DistanceLabeling(g, k=1, seed=4)
+        for v in g.vertices():
+            est = DistanceLabeling.query(
+                labeling.label(0), labeling.label(v)
+            )
+            assert est == bfs_distances(g, 0)[v]
+        # k=1 bunches are whole components: label size ~ 2n words.
+        assert labeling.max_label_words >= 2 * g.n
+
+    def test_labels_shrink_with_k(self):
+        g = erdos_renyi_gnp(250, 0.08, seed=5)
+        small_k = DistanceLabeling(g, k=1, seed=6)
+        big_k = DistanceLabeling(g, k=3, seed=6)
+        assert big_k.total_words < small_k.total_words
+
+    def test_label_size_near_theory(self):
+        g = erdos_renyi_gnp(300, 0.06, seed=7)
+        k = 3
+        labeling = DistanceLabeling(g, k=k, seed=8)
+        # O(k n^{1/k}) entries => ~4 k n^{1/k} words with slack.
+        bound = 10 * k * g.n ** (1 / k) * 2
+        assert labeling.total_words / g.n <= bound
+
+    def test_same_vertex_query(self):
+        g = path(4)
+        labeling = DistanceLabeling(g, k=2, seed=9)
+        assert DistanceLabeling.query(
+            labeling.label(2), labeling.label(2)
+        ) == 0
+
+    def test_disconnected_query(self):
+        g = Graph(edges=[(0, 1), (5, 6)])
+        labeling = DistanceLabeling(g, k=2, seed=10)
+        assert DistanceLabeling.query(
+            labeling.label(0), labeling.label(5)
+        ) == math.inf

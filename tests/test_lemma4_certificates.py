@@ -1,0 +1,92 @@
+"""Lemma 4, verified edge by edge.
+
+"Let (u', v') be an edge from the original graph removed from
+consideration ... In the first case delta_S(u', v') <= (2j+2)(2r_i+1) - 1
+and in the second delta_S(u', v') <= 2 r_i."
+
+``build_skeleton(collect_certificates=True)`` emits, for every removed
+host edge, the bound Lemma 4 owes it; these tests check each certificate
+against the final spanner (S only grows, so final distances lower-bound
+nothing and the check is sound).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_skeleton
+from repro.graphs import erdos_renyi_gnp, grid_2d, hypercube
+from repro.graphs.properties import bfs_distances
+
+
+def _certificates_hold(graph, spanner) -> bool:
+    sub = spanner.subgraph()
+    cache = {}
+    for (u, v), bound in spanner.metadata["certificates"]:
+        if u not in cache:
+            cache[u] = bfs_distances(sub, u)
+        d = cache[u].get(v)
+        if d is None or d > bound:
+            return False
+    return True
+
+
+def _all_edges_covered(graph, spanner) -> bool:
+    """Every host edge is either kept or certified removed."""
+    certified = {
+        tuple(sorted(edge)) for edge, _ in spanner.metadata["certificates"]
+    }
+    for e in graph.edges():
+        if e not in spanner.edges and e not in certified:
+            return False
+    return True
+
+
+class TestLemma4:
+    def test_certificates_hold_on_random_graph(self):
+        g = erdos_renyi_gnp(150, 0.07, seed=1)
+        sp = build_skeleton(g, D=4, seed=2, collect_certificates=True)
+        assert sp.metadata["certificates"]
+        assert _certificates_hold(g, sp)
+
+    def test_certificates_hold_on_grid(self):
+        g = grid_2d(10, 10)
+        sp = build_skeleton(g, D=4, seed=3, collect_certificates=True)
+        assert _certificates_hold(g, sp)
+
+    def test_certificates_hold_on_hypercube(self):
+        g = hypercube(6)
+        sp = build_skeleton(g, D=4, seed=4, collect_certificates=True)
+        assert _certificates_hold(g, sp)
+
+    def test_every_removed_edge_is_certified(self):
+        # Lemma 4 covers the two removal channels exhaustively: any host
+        # edge outside the spanner must carry a certificate.
+        g = erdos_renyi_gnp(120, 0.08, seed=5)
+        sp = build_skeleton(g, D=4, seed=6, collect_certificates=True)
+        assert _all_edges_covered(g, sp)
+
+    def test_flag_implies_preimages(self):
+        g = grid_2d(5, 5)
+        sp = build_skeleton(g, D=4, seed=7, collect_certificates=True)
+        assert "preimages" in sp.metadata
+
+    def test_off_by_default(self):
+        g = grid_2d(5, 5)
+        sp = build_skeleton(g, D=4, seed=8)
+        assert "certificates" not in sp.metadata
+
+    @given(
+        st.integers(15, 70),
+        st.floats(0.06, 0.3),
+        st.integers(0, 2000),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_lemma4_property(self, n, p, seed):
+        g = erdos_renyi_gnp(n, p, seed=seed)
+        sp = build_skeleton(
+            g, D=4, seed=seed + 1, collect_certificates=True
+        )
+        assert _certificates_hold(g, sp)
+        assert _all_edges_covered(g, sp)

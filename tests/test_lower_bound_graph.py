@@ -1,0 +1,133 @@
+"""Tests for the G(tau, chi, mu) lower-bound family (Section 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    bfs_distances,
+    is_connected,
+    lower_bound_graph,
+    theorem3_parameters,
+    theorem5_parameters,
+    theorem6_parameters,
+)
+from repro.graphs.graph import canonical_edge
+from repro.graphs.properties import distance
+
+
+class TestStructure:
+    def test_block_and_chain_edge_partition(self):
+        lbg = lower_bound_graph(tau=2, chi=4, mu=3)
+        all_edges = lbg.graph.edge_set()
+        assert lbg.block_edges | lbg.chain_edges == all_edges
+        assert not (lbg.block_edges & lbg.chain_edges)
+
+    def test_block_edge_count(self):
+        lbg = lower_bound_graph(tau=1, chi=5, mu=4)
+        assert len(lbg.block_edges) == 4 * 25
+
+    def test_critical_edges_are_block_edges(self):
+        lbg = lower_bound_graph(tau=2, chi=3, mu=5)
+        assert len(lbg.critical_edges) == 5
+        assert all(e in lbg.block_edges for e in lbg.critical_edges)
+
+    def test_connected(self):
+        assert is_connected(lower_bound_graph(tau=3, chi=3, mu=4).graph)
+
+    def test_vertex_count_close_to_paper_formula(self):
+        tau, chi, mu = 4, 6, 5
+        lbg = lower_bound_graph(tau, chi, mu)
+        # n_tau < (mu + 1) chi (tau + 6) per Sect. 3.
+        assert lbg.n < (mu + 1) * chi * (tau + 6)
+
+    def test_edge_count_exceeds_blocks(self):
+        tau, chi, mu = 2, 5, 4
+        lbg = lower_bound_graph(tau, chi, mu)
+        assert lbg.m > mu * chi**2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            lower_bound_graph(tau=1, chi=1, mu=2)
+        with pytest.raises(ValueError):
+            lower_bound_graph(tau=1, chi=3, mu=0)
+        with pytest.raises(ValueError):
+            lower_bound_graph(tau=-1, chi=3, mu=2)
+
+
+class TestMetric:
+    def test_witness_distance_formula(self):
+        lbg = lower_bound_graph(tau=3, chi=4, mu=5)
+        u, v = lbg.witness_pair()
+        assert distance(lbg.graph, u, v) == lbg.witness_distance()
+
+    def test_short_chain_is_shortest_route(self):
+        # Column 1 (short chains + critical edges) carries the shortest
+        # path; column j >= 2 chains are 4 longer per block gap.
+        lbg = lower_bound_graph(tau=2, chi=3, mu=2)
+        d_col1 = distance(lbg.graph, lbg.right[0][0], lbg.left[1][0])
+        d_col2 = distance(lbg.graph, lbg.right[0][1], lbg.left[1][1])
+        assert d_col1 == lbg.tau + 1
+        assert d_col2 == lbg.tau + 5
+
+    def test_discarding_critical_edge_costs_exactly_two(self):
+        lbg = lower_bound_graph(tau=2, chi=4, mu=3)
+        u, v = lbg.witness_pair()
+        base = distance(lbg.graph, u, v)
+        g = lbg.graph.copy()
+        g.remove_edge(*lbg.critical_edges[1])
+        assert distance(g, u, v) == base + 2
+
+    def test_discarding_all_criticals_costs_two_each(self):
+        lbg = lower_bound_graph(tau=1, chi=4, mu=4)
+        u, v = lbg.witness_pair()
+        base = distance(lbg.graph, u, v)
+        g = lbg.graph.copy()
+        for e in lbg.critical_edges:
+            g.remove_edge(*e)
+        assert distance(g, u, v) == base + 2 * len(lbg.critical_edges)
+        assert lbg.detour_distance(len(lbg.critical_edges)) == base + 8
+
+    def test_pendant_chains_pad_tau_neighborhoods(self):
+        # Every block vertex should see no "end of graph" within tau hops:
+        # its tau-neighborhood contains no vertex of degree 1 closer than
+        # tau hops... i.e. pendants have length tau + 1.
+        tau = 3
+        lbg = lower_bound_graph(tau=tau, chi=3, mu=2)
+        for j in range(lbg.chi):
+            v = lbg.left[0][j]
+            dist = bfs_distances(lbg.graph, v, cutoff=tau)
+            leaves = [
+                u for u, d in dist.items()
+                if lbg.graph.degree(u) == 1 and d < tau
+            ]
+            assert leaves == []
+
+
+class TestParameterPickers:
+    def test_theorem3(self):
+        tau, chi, mu = theorem3_parameters(10_000, delta=0.2, c=2, tau=3)
+        assert tau == 3 and chi >= 2 and mu >= 1
+
+    def test_theorem5_mu_tracks_beta(self):
+        # Theorem 5 sets mu = 2 beta.
+        _, _, mu = theorem5_parameters(200_000, delta=0.1, beta=8)
+        assert abs(mu - 16) <= 8  # integer rounding of tau skews this a bit
+
+    def test_theorem6_valid(self):
+        tau, chi, mu = theorem6_parameters(
+            50_000, sigma=0.2, eps=0.5, c=1.0
+        )
+        assert tau >= 1 and chi >= 2 and mu >= 1
+
+    def test_pickers_produce_buildable_graphs(self):
+        for tau, chi, mu in (
+            theorem3_parameters(2000, 0.1, 2, 2),
+            theorem5_parameters(2000, 0.1, 4),
+            theorem6_parameters(2000, 0.1, 0.5, 1.0),
+        ):
+            chi = min(chi, 8)
+            mu = min(mu, 8)
+            tau = min(tau, 5)
+            lbg = lower_bound_graph(tau, chi, mu)
+            assert is_connected(lbg.graph)

@@ -1,0 +1,111 @@
+"""Tests for the Section 3 lower-bound adversary harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lower_bounds import (
+    forced_discard_probability,
+    run_locality_adversary,
+    tau_round_spanner,
+)
+from repro.graphs import lower_bound_graph
+from repro.spanner import verify_connectivity
+
+
+class TestForcedDiscardProbability:
+    def test_formula(self):
+        lbg = lower_bound_graph(tau=1, chi=3, mu=10)
+        assert forced_discard_probability(lbg, 2.0) == pytest.approx(
+            1 - 0.5 - 1 / 20
+        )
+
+    def test_clamped_at_zero(self):
+        lbg = lower_bound_graph(tau=1, chi=3, mu=1)
+        assert forced_discard_probability(lbg, 1.0) == 0.0
+
+    def test_rejects_c_below_one(self):
+        lbg = lower_bound_graph(tau=1, chi=3, mu=2)
+        with pytest.raises(ValueError):
+            forced_discard_probability(lbg, 0.5)
+
+
+class TestTauRoundSpanner:
+    def test_keeps_all_chain_edges(self):
+        lbg = lower_bound_graph(tau=2, chi=4, mu=4)
+        sp = tau_round_spanner(lbg, 0.9, seed=1)
+        assert lbg.chain_edges <= sp.edges
+
+    def test_discard_zero_keeps_everything(self):
+        lbg = lower_bound_graph(tau=1, chi=3, mu=3)
+        sp = tau_round_spanner(lbg, 0.0, seed=2)
+        assert sp.size == lbg.m
+
+    def test_discard_one_keeps_chains_plus_correctness_patch(self):
+        # At discard probability 1 every vertex is stranded, so each of
+        # the 2 chi block vertices per block keeps one patch edge.
+        lbg = lower_bound_graph(tau=1, chi=3, mu=3)
+        sp = tau_round_spanner(lbg, 1.0, seed=3)
+        assert lbg.chain_edges <= sp.edges
+        block_kept = sp.edges & lbg.block_edges
+        # left j -> right 0 (3 edges) plus right 1, 2 -> left 0, per block.
+        assert len(block_kept) == 3 * 5
+
+    def test_connectivity_always_preserved(self):
+        # Chains alone connect the graph (every block vertex has a chain).
+        lbg = lower_bound_graph(tau=2, chi=5, mu=3)
+        sp = tau_round_spanner(lbg, 1.0, seed=4)
+        assert verify_connectivity(lbg.graph, sp.subgraph())
+
+    def test_discard_rate_statistics(self):
+        lbg = lower_bound_graph(tau=1, chi=8, mu=6)
+        sp = tau_round_spanner(lbg, 0.5, seed=5)
+        kept_blocks = len(sp.edges & lbg.block_edges)
+        total_blocks = len(lbg.block_edges)
+        assert 0.35 < kept_blocks / total_blocks < 0.65
+
+    def test_validation(self):
+        lbg = lower_bound_graph(tau=1, chi=3, mu=2)
+        with pytest.raises(ValueError):
+            tau_round_spanner(lbg, 1.5)
+
+
+class TestAdversaryOutcome:
+    def test_measured_tracks_prediction(self):
+        lbg = lower_bound_graph(tau=2, chi=8, mu=12)
+        out = run_locality_adversary(lbg, c=2.0, trials=40, seed=6)
+        # Expected discarded criticals = p mu; allow Monte-Carlo slack.
+        assert out.mean_discarded_criticals == pytest.approx(
+            out.predicted_discarded_criticals, rel=0.25
+        )
+        # Each discarded critical edge costs exactly +2 (chi is large
+        # enough that a detour always survives).
+        assert out.mean_additive_distortion == pytest.approx(
+            2 * out.mean_discarded_criticals, rel=0.05, abs=0.5
+        )
+
+    def test_distortion_ratio_near_one(self):
+        lbg = lower_bound_graph(tau=1, chi=8, mu=10)
+        out = run_locality_adversary(lbg, c=2.0, trials=60, seed=7)
+        assert 0.7 < out.distortion_ratio < 1.3
+
+    def test_explicit_discard_probability(self):
+        lbg = lower_bound_graph(tau=1, chi=6, mu=8)
+        out = run_locality_adversary(
+            lbg, trials=20, seed=8, discard_probability=0.25
+        )
+        assert out.discard_probability == 0.25
+
+    def test_larger_budget_means_less_distortion(self):
+        lbg = lower_bound_graph(tau=1, chi=6, mu=10)
+        tight = run_locality_adversary(lbg, c=4.0, trials=30, seed=9)
+        loose = run_locality_adversary(lbg, c=1.2, trials=30, seed=9)
+        assert (
+            tight.predicted_additive_distortion
+            > loose.predicted_additive_distortion
+        )
+
+    def test_witness_distance_recorded(self):
+        lbg = lower_bound_graph(tau=3, chi=4, mu=5)
+        out = run_locality_adversary(lbg, c=2.0, trials=5, seed=10)
+        assert out.witness_distance == lbg.witness_distance()

@@ -1,0 +1,138 @@
+"""Tests for the distributed primitives (bounded BFS, ball broadcast,
+path retrace) against their sequential ground truth."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import ball_broadcast_protocol, bounded_bfs_protocol
+from repro.distributed.primitives import path_retrace_protocol
+from repro.graphs import (
+    bfs_distances,
+    erdos_renyi_gnp,
+    grid_2d,
+    multi_source_bfs,
+    path,
+)
+
+
+class TestBoundedBfs:
+    def test_matches_sequential_multi_source(self):
+        g = erdos_renyi_gnp(100, 0.06, seed=1)
+        sources = [0, 13, 57]
+        d_seq, r_seq, _ = multi_source_bfs(g, sources, cutoff=5)
+        d_dist, r_dist, _, _ = bounded_bfs_protocol(g, sources, radius=5)
+        assert d_dist == d_seq
+        assert r_dist == r_seq
+
+    def test_parent_points_one_hop_closer(self):
+        g = grid_2d(6, 6)
+        dist, _, parent, _ = bounded_bfs_protocol(g, [0], radius=12)
+        for v, d in dist.items():
+            if d > 0:
+                assert dist[parent[v]] == d - 1
+
+    def test_radius_truncation(self):
+        g = path(10)
+        dist, _, _, stats = bounded_bfs_protocol(g, [0], radius=4)
+        assert max(dist.values()) == 4
+        assert stats.rounds == 4
+
+    def test_unit_messages(self):
+        g = erdos_renyi_gnp(60, 0.1, seed=2)
+        _, _, _, stats = bounded_bfs_protocol(g, [0, 1], radius=4)
+        assert stats.max_message_words == 1
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_random_equivalence(self, seed):
+        g = erdos_renyi_gnp(40, 0.12, seed=seed)
+        sources = [v for v in g.vertices() if v % 9 == 0]
+        d_seq, r_seq, _ = multi_source_bfs(g, sources, cutoff=3)
+        d_dist, r_dist, _, _ = bounded_bfs_protocol(g, sources, radius=3)
+        assert d_dist == d_seq and r_dist == r_seq
+
+
+class TestBallBroadcast:
+    def test_distances_exact_within_radius(self):
+        g = erdos_renyi_gnp(80, 0.08, seed=3)
+        sources = [0, 11, 42]
+        known, ceased, _ = ball_broadcast_protocol(g, sources, radius=3)
+        assert not ceased
+        for s in sources:
+            truth = bfs_distances(g, s, cutoff=3)
+            for v, d in truth.items():
+                assert known[v][s][0] == d
+            # Nothing outside the ball is known.
+            for v in g.vertices():
+                if v not in truth:
+                    assert s not in known[v]
+
+    def test_parents_route_toward_source(self):
+        g = grid_2d(5, 5)
+        known, _, _ = ball_broadcast_protocol(g, [0], radius=8)
+        for v, info in known.items():
+            d, parent = info.get(0, (None, None))
+            if d and d > 0:
+                assert known[parent][0][0] == d - 1
+
+    def test_cap_triggers_cessation(self):
+        # Radius-2 broadcast from many sources through a single hub must
+        # exceed a 1-word cap at the hub.
+        from repro.graphs import star
+
+        g = star(8)
+        known, ceased, stats = ball_broadcast_protocol(
+            g, [1, 2, 3, 4, 5, 6, 7], radius=2, max_message_words=1
+        )
+        assert 0 in ceased  # the hub gave up
+        assert stats.cap == 1
+
+    def test_no_cap_no_cessation(self, medium_er_graph):
+        _, ceased, _ = ball_broadcast_protocol(
+            medium_er_graph, [0, 1, 2], radius=4
+        )
+        assert ceased == {}
+
+
+class TestPathRetrace:
+    def test_traced_paths_are_shortest(self):
+        g = grid_2d(6, 6)
+        known, _, _ = ball_broadcast_protocol(g, [0, 35], radius=12)
+        parent_maps = {
+            v: {s: par for s, (_, par) in info.items()}
+            for v, info in known.items()
+        }
+        requests = {14: [0, 35]}
+        edges, _ = path_retrace_protocol(g, parent_maps, requests, radius=12)
+        sub = g.edge_subgraph(edges)
+        assert bfs_distances(sub, 14).get(0) == bfs_distances(g, 14)[0]
+        assert bfs_distances(sub, 14).get(35) == bfs_distances(g, 14)[35]
+
+    def test_unknown_target_dropped(self):
+        g = path(5)
+        edges, _ = path_retrace_protocol(g, {v: {} for v in g.vertices()},
+                                         {0: [4]}, radius=5)
+        assert edges == set()
+
+    def test_request_for_self_is_noop(self):
+        g = path(3)
+        known, _, _ = ball_broadcast_protocol(g, [1], radius=2)
+        parent_maps = {
+            v: {s: par for s, (_, par) in info.items()}
+            for v, info in known.items()
+        }
+        edges, _ = path_retrace_protocol(g, parent_maps, {1: [1]}, radius=2)
+        assert edges == set()
+
+    def test_edge_count_bounded_by_path_lengths(self):
+        g = path(10)
+        known, _, _ = ball_broadcast_protocol(g, [9], radius=9)
+        parent_maps = {
+            v: {s: par for s, (_, par) in info.items()}
+            for v, info in known.items()
+        }
+        edges, _ = path_retrace_protocol(g, parent_maps, {0: [9]}, radius=9)
+        assert len(edges) == 9

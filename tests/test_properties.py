@@ -1,0 +1,184 @@
+"""Tests for BFS machinery, components, diameter, girth."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    bfs_distances,
+    bfs_parents,
+    complete,
+    connected_components,
+    cycle,
+    diameter,
+    eccentricity,
+    erdos_renyi_gnp,
+    girth,
+    grid_2d,
+    hypercube,
+    is_connected,
+    multi_source_bfs,
+    path,
+    shortest_path,
+)
+from repro.graphs.properties import distance
+
+
+def random_graph_strategy():
+    return st.builds(
+        lambda n, p, s: erdos_renyi_gnp(n, p, seed=s),
+        st.integers(5, 35),
+        st.floats(0.05, 0.5),
+        st.integers(0, 10_000),
+    )
+
+
+class TestBfs:
+    def test_distances_on_path(self):
+        g = path(6)
+        assert bfs_distances(g, 0) == {i: i for i in range(6)}
+
+    def test_cutoff(self):
+        g = path(10)
+        d = bfs_distances(g, 0, cutoff=3)
+        assert max(d.values()) == 3 and len(d) == 4
+
+    def test_unreachable_absent(self):
+        g = Graph(vertices=[0, 1], edges=[])
+        assert bfs_distances(g, 0) == {0: 0}
+
+    def test_parents_form_shortest_path_tree(self):
+        g = grid_2d(5, 5)
+        dist, parent = bfs_parents(g, 0)
+        for v, par in parent.items():
+            if par is not None:
+                assert dist[v] == dist[par] + 1
+
+    def test_shortest_path_endpoints_and_length(self):
+        g = grid_2d(4, 6)
+        sp = shortest_path(g, 0, 23)
+        assert sp[0] == 0 and sp[-1] == 23
+        assert len(sp) - 1 == bfs_distances(g, 0)[23]
+
+    def test_shortest_path_disconnected(self):
+        g = Graph(vertices=[0, 1])
+        assert shortest_path(g, 0, 1) is None
+
+    def test_shortest_path_trivial(self):
+        g = path(3)
+        assert shortest_path(g, 1, 1) == [1]
+
+    @given(random_graph_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_bfs_matches_networkx(self, g):
+        source = next(g.vertices())
+        expected = nx.single_source_shortest_path_length(
+            g.to_networkx(), source
+        )
+        assert bfs_distances(g, source) == dict(expected)
+
+
+class TestMultiSourceBfs:
+    def test_single_source_reduces_to_bfs(self):
+        g = grid_2d(4, 4)
+        dist, root, parent = multi_source_bfs(g, [0])
+        assert dist == bfs_distances(g, 0)
+        assert all(r == 0 for r in root.values())
+
+    def test_dist_is_min_over_sources(self):
+        g = path(10)
+        dist, _, _ = multi_source_bfs(g, [0, 9])
+        for v in range(10):
+            assert dist[v] == min(v, 9 - v)
+
+    def test_min_id_tie_breaking(self):
+        # Vertex 1 on a path 0-1-2 is equidistant from sources 0 and 2.
+        g = path(3)
+        _, root, _ = multi_source_bfs(g, [0, 2])
+        assert root[1] == 0
+
+    def test_root_consistency_along_parents(self):
+        # p_i(u) = p_i(v) for u on the tree path from v (Lemma 7's forest
+        # property) must hold with min-id tie-breaking.
+        g = erdos_renyi_gnp(80, 0.06, seed=5)
+        sources = [v for v in g.vertices() if v % 7 == 0]
+        dist, root, parent = multi_source_bfs(g, sources)
+        for v, par in parent.items():
+            if par is not None:
+                assert root[v] == root[par]
+                assert dist[v] == dist[par] + 1
+
+    def test_brute_force_equivalence(self):
+        g = erdos_renyi_gnp(60, 0.08, seed=9)
+        sources = [3, 17, 41]
+        dist, root, _ = multi_source_bfs(g, sources)
+        for v in g.vertices():
+            per_source = {
+                s: bfs_distances(g, s).get(v) for s in sources
+            }
+            reachable = {s: d for s, d in per_source.items() if d is not None}
+            if not reachable:
+                assert v not in dist
+                continue
+            best = min(reachable.values())
+            assert dist[v] == best
+            assert root[v] == min(s for s, d in reachable.items() if d == best)
+
+    def test_cutoff_limits_reach(self):
+        g = path(10)
+        dist, _, _ = multi_source_bfs(g, [0], cutoff=4)
+        assert max(dist.values()) == 4
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert len(connected_components(grid_2d(3, 3))) == 1
+
+    def test_multiple_components(self):
+        g = Graph(edges=[(0, 1), (2, 3)])
+        g.add_vertex(9)
+        comps = connected_components(g)
+        assert sorted(map(len, comps)) == [1, 2, 2]
+
+    def test_is_connected(self):
+        assert is_connected(grid_2d(3, 3))
+        assert not is_connected(Graph(vertices=[0, 1]))
+        assert is_connected(Graph())
+
+
+class TestDiameterEccentricity:
+    def test_path_diameter(self):
+        assert diameter(path(12)) == 11
+
+    def test_double_sweep_on_structured_graphs(self):
+        for g in (path(20), grid_2d(5, 7), hypercube(4)):
+            assert diameter(g, exact=False) == diameter(g, exact=True)
+
+    def test_eccentricity(self):
+        g = path(5)
+        assert eccentricity(g, 0) == 4
+        assert eccentricity(g, 2) == 2
+
+    def test_distance(self):
+        g = path(5)
+        assert distance(g, 0, 4) == 4
+        assert distance(g, 2, 2) == 0
+
+
+class TestGirth:
+    def test_known_girths(self):
+        assert girth(cycle(7)) == 7
+        assert girth(complete(4)) == 3
+        assert girth(grid_2d(3, 3)) == 4
+        assert girth(hypercube(3)) == 4
+        assert girth(path(5)) == float("inf")
+
+    @given(random_graph_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_girth_matches_networkx(self, g):
+        expected = nx.girth(g.to_networkx())
+        assert girth(g) == expected

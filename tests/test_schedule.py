@@ -1,0 +1,95 @@
+"""Tests for the skeleton round schedules (Sect. 2 / Theorem 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schedule import (
+    Round,
+    build_schedule,
+    exact_form_schedule,
+    total_expand_calls,
+)
+
+
+class TestExactFormSchedule:
+    def test_ends_with_forced_zero(self):
+        schedule = exact_form_schedule(10_000, D=4)
+        assert schedule[-1].final_zero
+
+    def test_first_round_single_iteration(self):
+        schedule = exact_form_schedule(10_000, D=4)
+        assert schedule[0].iterations == 1
+        assert schedule[0].p == 0.25
+
+    def test_probabilities_follow_s_sequence(self):
+        schedule = exact_form_schedule(10**7, D=4)
+        ps = [r.p for r in schedule]
+        assert ps[0] == ps[1] == 1 / 4
+        if len(ps) > 2:
+            assert ps[2] == 1 / 256
+
+    def test_expected_density_reaches_n(self):
+        n = 10**6
+        schedule = exact_form_schedule(n, D=4)
+        density = 1.0
+        for r in schedule:
+            density *= (1 / r.p) ** r.iterations
+        assert density >= n
+
+    def test_rejects_small_d(self):
+        with pytest.raises(ValueError):
+            exact_form_schedule(100, D=3)
+
+
+class TestTheorem2Schedule:
+    def test_ends_with_forced_zero(self):
+        schedule = build_schedule(100_000, D=4, eps=0.5)
+        assert schedule[-1].final_zero
+
+    def test_tail_rounds_use_logeps_probability(self):
+        import math
+
+        n = 100_000
+        eps = 0.5
+        schedule = build_schedule(n, D=4, eps=eps)
+        q = max(2.0, math.log2(n) ** eps)
+        assert schedule[-1].p == pytest.approx(1 / q)
+
+    def test_d_cap_enforced(self):
+        # Theorem 2 needs D < log^eps n.
+        with pytest.raises(ValueError):
+            build_schedule(1000, D=8, eps=0.5)
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            build_schedule(1000, D=4, eps=0.0)
+
+    def test_density_reaches_n(self):
+        n = 50_000
+        schedule = build_schedule(n, D=4, eps=1.0)
+        density = 1.0
+        for r in schedule:
+            density *= (1 / r.p) ** r.iterations
+        assert density >= n * 0.9
+
+    def test_total_calls_modest(self):
+        # O(t + log n) calls — certainly far below n.
+        n = 10**6
+        schedule = build_schedule(n, D=4, eps=0.5)
+        assert total_expand_calls(schedule) < 200
+
+    def test_round_expand_calls_counts_final_zero(self):
+        r = Round(p=0.5, iterations=3, final_zero=True)
+        assert r.expand_calls == 4
+
+    def test_small_graphs_supported(self):
+        # Theorem 2 needs D < log^eps n; n = 17 clears it at eps = 1.
+        schedule = build_schedule(17, D=4, eps=1.0)
+        assert schedule[-1].final_zero
+        # Below the bar the builder refuses (callers fall back to the
+        # exact-form schedule, which always works).
+        with pytest.raises(ValueError):
+            build_schedule(5, D=4, eps=1.0)
+        for n in (2, 5):
+            assert exact_form_schedule(n, D=4)[-1].final_zero

@@ -1,0 +1,202 @@
+"""Tests for the synchronous network simulator."""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+import pytest
+
+from repro.distributed import Api, Network, NetworkStats, NodeProgram, ProtocolError
+from repro.graphs import Graph, path, star
+
+
+class Echo(NodeProgram):
+    """Broadcasts its id once, records everything it hears."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.heard: List[Tuple[int, Any]] = []
+
+    def setup(self, api: Api) -> None:
+        api.broadcast(self.node_id)
+
+    def on_round(self, api, round_index, inbox) -> None:
+        self.heard.extend(inbox)
+
+
+class Forwarder(NodeProgram):
+    """Relays a token left-to-right along a path."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.received_at = None
+
+    def setup(self, api: Api) -> None:
+        if self.node_id == 0:
+            api.send(1, "token")
+
+    def on_round(self, api, round_index, inbox) -> None:
+        for _, payload in inbox:
+            if payload == "token" and self.received_at is None:
+                self.received_at = round_index
+                nxt = self.node_id + 1
+                if nxt in api.neighbors:
+                    api.send(nxt, "token")
+
+
+class TestDelivery:
+    def test_setup_messages_arrive_round_one(self):
+        g = path(3)
+        programs = {v: Echo(v) for v in g.vertices()}
+        Network(g, programs=programs).run(max_rounds=2)
+        assert (0, 0) in programs[1].heard
+        assert (2, 2) in programs[1].heard
+
+    def test_one_round_latency_per_hop(self):
+        g = path(6)
+        programs = {v: Forwarder(v) for v in g.vertices()}
+        Network(g, programs=programs).run(max_rounds=10)
+        for v in range(1, 6):
+            assert programs[v].received_at == v
+
+    def test_inbox_sorted_by_source(self):
+        g = star(5)
+        programs = {v: Echo(v) for v in g.vertices()}
+        Network(g, programs=programs).run(max_rounds=1)
+        sources = [src for src, _ in programs[0].heard]
+        assert sources == sorted(sources)
+
+
+class TestModelEnforcement:
+    def test_send_to_non_neighbor_rejected(self):
+        class Bad(NodeProgram):
+            def setup(self, api):
+                if api.node_id == 0:
+                    api.send(2, "x")
+
+            def on_round(self, api, round_index, inbox):
+                pass
+
+        g = path(3)  # 0 and 2 are not adjacent
+        with pytest.raises(ProtocolError):
+            Network(g, program_factory=lambda v: Bad()).run(1)
+
+    def test_strict_cap_raises(self):
+        class Wide(NodeProgram):
+            def setup(self, api):
+                if api.node_id == 0:
+                    api.send(1, (1, 2, 3, 4, 5))
+
+            def on_round(self, api, round_index, inbox):
+                pass
+
+        g = path(2)
+        with pytest.raises(ProtocolError):
+            Network(
+                g,
+                program_factory=lambda v: Wide(),
+                max_message_words=3,
+                strict=True,
+            ).run(1)
+
+    def test_lenient_cap_counts_violations(self):
+        class Wide(NodeProgram):
+            def setup(self, api):
+                if api.node_id == 0:
+                    api.send(1, (1, 2, 3, 4, 5))
+
+            def on_round(self, api, round_index, inbox):
+                pass
+
+        g = path(2)
+        net = Network(
+            g, program_factory=lambda v: Wide(), max_message_words=3
+        )
+        stats = net.run(1)
+        assert stats.violations == 1
+        assert stats.max_message_words == 5
+
+    def test_same_round_sends_merge_into_one_message(self):
+        class Chatty(NodeProgram):
+            def setup(self, api):
+                if api.node_id == 0:
+                    api.send(1, 1)
+                    api.send(1, 2)
+
+            def on_round(self, api, round_index, inbox):
+                self.inbox_size = len(inbox)
+
+        g = path(2)
+        programs = {0: Chatty(), 1: Chatty()}
+        net = Network(g, programs=programs)
+        net.run(1)
+        # Two payloads, one accounted message of width 2.
+        assert net.stats.max_message_words == 2
+        assert programs[1].inbox_size >= 2
+
+
+class TestLifecycle:
+    def test_halt_stops_participation(self):
+        class OneShot(NodeProgram):
+            def __init__(self):
+                self.rounds_seen = 0
+
+            def on_round(self, api, round_index, inbox):
+                self.rounds_seen += 1
+                api.halt()
+
+        g = path(3)
+        programs = {v: OneShot() for v in g.vertices()}
+        stats = Network(g, programs=programs).run(10)
+        assert all(p.rounds_seen == 1 for p in programs.values())
+        assert stats.rounds == 1  # everyone halted after round 1
+
+    def test_stop_when_idle(self):
+        g = path(4)
+        programs = {v: Echo(v) for v in g.vertices()}
+        stats = Network(g, programs=programs).run(
+            100, stop_when_idle=True
+        )
+        assert stats.rounds <= 2
+
+    def test_run_is_resumable(self):
+        g = path(4)
+        programs = {v: Forwarder(v) for v in g.vertices()}
+        net = Network(g, programs=programs)
+        net.run(1)
+        net.run(10)
+        assert programs[3].received_at == 3
+
+    def test_requires_program_per_vertex(self):
+        g = path(3)
+        with pytest.raises(ValueError):
+            Network(g, programs={0: Echo(0)})
+
+    def test_exactly_one_program_source(self):
+        g = path(2)
+        with pytest.raises(ValueError):
+            Network(g)
+        with pytest.raises(ValueError):
+            Network(
+                g,
+                programs={v: Echo(v) for v in g.vertices()},
+                program_factory=lambda v: Echo(v),
+            )
+
+
+class TestStats:
+    def test_merged_with(self):
+        a = NetworkStats(rounds=3, messages=10, total_words=20,
+                         max_message_words=4, cap=8, violations=0)
+        b = NetworkStats(rounds=2, messages=5, total_words=30,
+                         max_message_words=9, cap=6, violations=1)
+        m = a.merged_with(b)
+        assert m.rounds == 5 and m.messages == 15
+        assert m.total_words == 50
+        assert m.max_message_words == 9
+        assert m.cap == 6 and m.violations == 1
+
+    def test_str_mentions_cap_when_present(self):
+        s = NetworkStats(cap=4)
+        assert "cap=4" in str(s)
+        assert "cap" not in str(NetworkStats())

@@ -1,0 +1,92 @@
+"""The key invariant of Section 2, verified moment by moment.
+
+"A key invariant maintained by this algorithm is that if C is a cluster
+in any C_{i,j}, then S contains a spanning tree of pi^-1(C)."
+
+We run the skeleton with preimage collection on and check, after *every*
+Expand call, that every live cluster's original-vertex preimage is
+connected using only the spanner edges selected *so far* — and moreover
+within the cluster's own preimage (the spanning tree is internal).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_skeleton
+from repro.graphs import Graph, erdos_renyi_gnp, grid_2d, hypercube
+from repro.util import UnionFind
+
+
+def _preimages_spanned(spanner) -> bool:
+    preimages = spanner.metadata["preimages"]
+    edge_snapshots = spanner.metadata["edge_snapshots"]
+    for snapshot, edges in zip(preimages, edge_snapshots):
+        for center, preimage in snapshot.items():
+            if len(preimage) == 1:
+                continue
+            uf = UnionFind(preimage)
+            for u, v in edges:
+                if u in preimage and v in preimage:
+                    uf.union(u, v)
+            if uf.n_components != 1:
+                return False
+    return True
+
+
+class TestKeyInvariant:
+    def test_on_random_graph(self):
+        g = erdos_renyi_gnp(150, 0.06, seed=1)
+        sp = build_skeleton(g, D=4, seed=2, collect_preimages=True)
+        assert _preimages_spanned(sp)
+
+    def test_on_grid(self):
+        g = grid_2d(10, 10)
+        sp = build_skeleton(g, D=4, seed=3, collect_preimages=True)
+        assert _preimages_spanned(sp)
+
+    def test_on_hypercube(self):
+        g = hypercube(6)
+        sp = build_skeleton(g, D=4, seed=4, collect_preimages=True)
+        assert _preimages_spanned(sp)
+
+    def test_on_disconnected_graph(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3), (10, 11), (11, 12)])
+        sp = build_skeleton(g, D=4, seed=5, collect_preimages=True)
+        assert _preimages_spanned(sp)
+
+    def test_snapshots_align(self):
+        g = erdos_renyi_gnp(80, 0.08, seed=6)
+        sp = build_skeleton(g, D=4, seed=7, collect_preimages=True)
+        assert len(sp.metadata["preimages"]) == len(
+            sp.metadata["edge_snapshots"]
+        )
+        assert len(sp.metadata["preimages"]) == sp.metadata["expand_calls"]
+
+    def test_preimages_partition_live_vertices(self):
+        g = erdos_renyi_gnp(100, 0.07, seed=8)
+        sp = build_skeleton(g, D=4, seed=9, collect_preimages=True)
+        for snapshot in sp.metadata["preimages"]:
+            seen = set()
+            for preimage in snapshot.values():
+                assert not (seen & preimage)  # disjoint
+                seen |= preimage
+            assert seen <= set(g.vertices())
+
+    def test_not_collected_by_default(self):
+        g = grid_2d(5, 5)
+        sp = build_skeleton(g, D=4, seed=10)
+        assert "preimages" not in sp.metadata
+
+    @given(
+        st.integers(10, 60),
+        st.floats(0.08, 0.3),
+        st.integers(0, 500),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_invariant_property(self, n, p, seed):
+        g = erdos_renyi_gnp(n, p, seed=seed)
+        sp = build_skeleton(g, D=4, seed=seed + 1, collect_preimages=True)
+        assert _preimages_spanned(sp)

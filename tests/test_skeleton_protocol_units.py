@@ -1,0 +1,183 @@
+"""Program-level unit tests for the skeleton protocol's state machine.
+
+The integration tests cross-validate whole runs; these exercise the
+_SkeletonProgram phases directly on hand-built micro-networks so that
+each transition (exchange snapshot, converge aggregation, join routing,
+death streaming, contraction relabeling) is pinned down individually.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.distributed.simulator import Network
+from repro.distributed.skeleton_protocol import _SkeletonProgram
+from repro.graphs import Graph, path, star
+
+
+def _make(graph, cap_entries=8):
+    programs = {v: _SkeletonProgram(v) for v in graph.vertices()}
+    network = Network(graph, programs=programs)
+    return programs, network
+
+
+def _run_phase(programs, network, phase, rounds, **config):
+    for p in programs.values():
+        p.begin_phase(phase, **config)
+    network.run(max_rounds=rounds, stop_when_idle=True)
+    while network._pending:
+        network.run(max_rounds=1)
+
+
+class TestExchangePhase:
+    def test_neighbors_learn_cluster_ids(self):
+        g = path(3)
+        programs, network = _make(g)
+        programs[0].cl_center = 10
+        programs[2].cl_center = 20
+        _run_phase(programs, network, "exchange", 3)
+        assert programs[1].nbr_cl == {0: 10, 2: 20}
+        assert programs[0].nbr_cl == {1: 1}
+
+    def test_dead_nodes_are_silent(self):
+        g = path(3)
+        programs, network = _make(g)
+        programs[0].alive = False
+        _run_phase(programs, network, "exchange", 3)
+        assert programs[1].nbr_cl == {2: 2}
+
+
+class TestConvergePhase:
+    def test_singleton_join_candidate(self):
+        # Vertex 1 (singleton supervertex) sees sampled neighbor cluster.
+        g = path(3)
+        programs, network = _make(g)
+        _run_phase(programs, network, "exchange", 3)
+        sampler = lambda c: c == 2
+        _run_phase(
+            programs, network, "converge", 3,
+            sampler=sampler, q_abort=math.inf, cap_entries=8,
+        )
+        assert programs[1].best == (2, 1, 2)
+        assert programs[1].participating
+
+    def test_sampled_cluster_members_idle(self):
+        g = path(2)
+        programs, network = _make(g)
+        _run_phase(programs, network, "exchange", 3)
+        _run_phase(
+            programs, network, "converge", 3,
+            sampler=lambda c: True, q_abort=math.inf, cap_entries=8,
+        )
+        assert not programs[0].participating
+        assert not programs[1].participating
+
+    def test_death_candidates_deduplicated_per_cluster(self):
+        # Hub 0 adjacent to two vertices of the same (unsampled) cluster.
+        g = star(3)  # 0 - 1, 0 - 2
+        programs, network = _make(g)
+        programs[1].cl_center = 9
+        programs[2].cl_center = 9
+        _run_phase(programs, network, "exchange", 3)
+        _run_phase(
+            programs, network, "converge", 3,
+            sampler=lambda c: False, q_abort=math.inf, cap_entries=8,
+        )
+        # 0 is its own center: exactly one death candidate for cluster 9.
+        assert set(programs[0].death_received) == {9}
+        assert programs[0].death_received[9] == (0, 1)
+
+    def test_abort_flag_on_too_many_clusters(self):
+        g = star(5)
+        programs, network = _make(g)
+        for leaf in range(1, 5):
+            programs[leaf].cl_center = 100 + leaf  # 4 distinct clusters
+        _run_phase(programs, network, "exchange", 3)
+        _run_phase(
+            programs, network, "converge", 3,
+            sampler=lambda c: False, q_abort=2, cap_entries=8,
+        )
+        assert programs[0].abort
+
+    def test_tree_convergecast_reaches_center(self):
+        # Supervertex = path tree 0 <- 1 <- 2 (p1 pointers toward 0);
+        # only the far leaf 2 borders the sampled cluster at vertex 3.
+        g = path(4)
+        programs, network = _make(g)
+        for v in (0, 1, 2):
+            programs[v].sv_center = 0
+            programs[v].cl_center = 0
+        programs[1].p1 = 0
+        programs[2].p1 = 1
+        programs[0].children = {1}
+        programs[1].children = {2}
+        _run_phase(programs, network, "exchange", 3)
+        _run_phase(
+            programs, network, "converge", 6,
+            sampler=lambda c: c == 3, q_abort=math.inf, cap_entries=8,
+        )
+        assert programs[0].best == (3, 2, 3)
+        assert programs[0].best_child == 1
+
+
+class TestDecidePhase:
+    def _setup_tree(self):
+        g = path(4)
+        programs, network = _make(g)
+        for v in (0, 1, 2):
+            programs[v].sv_center = 0
+            programs[v].cl_center = 0
+        programs[1].p1 = 0
+        programs[2].p1 = 1
+        programs[0].children = {1}
+        programs[1].children = {2}
+        return g, programs, network
+
+    def test_join_updates_p2_along_path(self):
+        g, programs, network = self._setup_tree()
+        _run_phase(programs, network, "exchange", 3)
+        _run_phase(
+            programs, network, "converge", 6,
+            sampler=lambda c: c == 3, q_abort=math.inf, cap_entries=8,
+        )
+        _run_phase(programs, network, "decide", 6)
+        # Everyone adopted the new cluster.
+        assert all(programs[v].cl_center == 3 for v in (0, 1, 2))
+        # The path 0 -> 1 -> 2 -> (edge to 3): p2 points down the path.
+        assert programs[0].p2 == 1
+        assert programs[1].p2 == 2
+        assert programs[2].p2 == 3
+        assert (2, 3) in programs[2].edges
+
+    def test_death_notifies_whole_tree(self):
+        g, programs, network = self._setup_tree()
+        _run_phase(programs, network, "exchange", 3)
+        _run_phase(
+            programs, network, "converge", 6,
+            sampler=lambda c: False, q_abort=math.inf, cap_entries=8,
+        )
+        _run_phase(programs, network, "decide", 6)
+        for p in programs.values():
+            p.finalize_call()
+        assert not programs[0].alive
+        assert not programs[1].alive
+        assert not programs[2].alive
+        # The chosen edge (2, 3) was added by its owner.
+        assert (2, 3) in programs[2].edges
+
+    def test_contract_relabels_and_relearns_children(self):
+        g, programs, network = self._setup_tree()
+        _run_phase(programs, network, "exchange", 3)
+        _run_phase(
+            programs, network, "converge", 6,
+            sampler=lambda c: c == 3, q_abort=math.inf, cap_entries=8,
+        )
+        _run_phase(programs, network, "decide", 6)
+        _run_phase(programs, network, "contract", 3)
+        # p1 <- p2; supervertex = cluster 3.
+        assert programs[0].sv_center == 3
+        assert programs[0].p1 == 1
+        assert programs[1].children == {0}
+        assert programs[2].children == {1}

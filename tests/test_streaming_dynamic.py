@@ -1,0 +1,131 @@
+"""Tests for streaming and fully-dynamic spanners (Sect. 1.4 baselines)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.streaming import DynamicSpanner, StreamingSpanner
+from repro.graphs import erdos_renyi_gnp, girth, grid_2d, path
+from repro.spanner import verify_connectivity, verify_spanner_guarantee
+
+
+class TestStreamingSpanner:
+    def test_guarantee_any_arrival_order(self):
+        g = erdos_renyi_gnp(120, 0.08, seed=1)
+        for order_seed in (2, 3):
+            edges = sorted(g.edges())
+            random.Random(order_seed).shuffle(edges)
+            sp = StreamingSpanner(k=3).consume(edges).to_spanner(g)
+            ok, worst = verify_spanner_guarantee(g, sp.subgraph(), alpha=5)
+            assert ok, worst
+
+    def test_girth_exceeds_2k(self):
+        g = erdos_renyi_gnp(150, 0.1, seed=4)
+        stream = StreamingSpanner(k=2).consume(sorted(g.edges()))
+        assert girth(g.edge_subgraph(stream.kept)) > 4
+
+    def test_size_bound(self):
+        g = erdos_renyi_gnp(200, 0.2, seed=5)
+        stream = StreamingSpanner(k=2).consume(sorted(g.edges()))
+        # girth > 4 forces O(n^{3/2}) edges.
+        assert stream.size <= 2 * g.n ** 1.5
+
+    def test_duplicate_and_loop_edges_ignored(self):
+        stream = StreamingSpanner(k=2)
+        assert stream.offer(0, 1)
+        assert not stream.offer(1, 0)
+        assert not stream.offer(3, 3)
+        assert stream.size == 1
+        assert stream.edges_seen == 3
+
+    def test_tree_stream_keeps_everything(self):
+        g = path(20)
+        stream = StreamingSpanner(k=3).consume(g.edges())
+        assert stream.size == g.m
+
+    def test_validates_k(self):
+        with pytest.raises(ValueError):
+            StreamingSpanner(0)
+
+
+class TestDynamicSpanner:
+    def test_insert_only_matches_streaming(self):
+        g = erdos_renyi_gnp(100, 0.08, seed=6)
+        dyn = DynamicSpanner(k=3)
+        for u, v in sorted(g.edges()):
+            dyn.insert(u, v)
+        stream = StreamingSpanner(k=3).consume(sorted(g.edges()))
+        assert dyn.spanner_edges == stream.kept
+        assert dyn.check_invariant()
+
+    def test_delete_non_spanner_edge_is_free(self):
+        dyn = DynamicSpanner(k=2)
+        for u, v in [(0, 1), (1, 2), (2, 0)]:
+            dyn.insert(u, v)
+        # (2, 0) closed a triangle: kept only if distance > 3... with
+        # k=2 the threshold is 3, so the triangle edge was skipped.
+        assert dyn.size == 2
+        before = dyn.spanner_edges
+        dyn.delete(2, 0)
+        assert dyn.spanner_edges == before
+        assert dyn.check_invariant()
+
+    def test_delete_spanner_edge_triggers_repair(self):
+        dyn = DynamicSpanner(k=2)
+        for u, v in [(0, 1), (1, 2), (2, 0)]:
+            dyn.insert(u, v)
+        dyn.delete(0, 1)  # was a spanner edge
+        assert dyn.check_invariant()
+        # The remaining host edges must now all be kept.
+        assert dyn.spanner_edges == {(1, 2), (0, 2)}
+
+    def test_invariant_after_random_workload(self):
+        g = erdos_renyi_gnp(60, 0.12, seed=7)
+        edges = sorted(g.edges())
+        rng = random.Random(8)
+        dyn = DynamicSpanner(k=2)
+        live = []
+        for u, v in edges:
+            dyn.insert(u, v)
+            live.append((u, v))
+            if live and rng.random() < 0.25:
+                idx = rng.randrange(len(live))
+                du, dv = live.pop(idx)
+                dyn.delete(du, dv)
+        assert dyn.check_invariant()
+        sp = dyn.to_spanner()
+        ok, worst = verify_spanner_guarantee(
+            dyn.host, sp.subgraph(), alpha=3
+        )
+        assert ok, worst
+        assert verify_connectivity(dyn.host, sp.subgraph())
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_insert_delete(self, seed):
+        rng = random.Random(seed)
+        dyn = DynamicSpanner(k=3)
+        live = set()
+        for _ in range(60):
+            u, v = rng.randrange(15), rng.randrange(15)
+            if u == v:
+                continue
+            if rng.random() < 0.7:
+                dyn.insert(u, v)
+                live.add((min(u, v), max(u, v)))
+            elif live:
+                edge = rng.choice(sorted(live))
+                live.discard(edge)
+                dyn.delete(*edge)
+        assert dyn.check_invariant()
+
+    def test_spanner_edges_always_subset_of_host(self):
+        dyn = DynamicSpanner(k=2)
+        dyn.insert(0, 1)
+        dyn.insert(1, 2)
+        dyn.delete(0, 1)
+        assert all(dyn.host.has_edge(u, v) for u, v in dyn.spanner_edges)

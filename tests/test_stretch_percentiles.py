@@ -1,0 +1,49 @@
+"""Tests for percentile collection in stretch statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import cycle, grid_2d
+from repro.spanner import Spanner, stretch_statistics
+
+
+def tree_spanner_of_cycle(n: int):
+    g = cycle(n)
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return g, Spanner(g, edges)
+
+
+class TestPercentiles:
+    def test_off_by_default(self):
+        g = grid_2d(4, 4)
+        stats = stretch_statistics(g, g)
+        assert stats.percentiles == {}
+
+    def test_identity_spanner_all_ones(self):
+        g = grid_2d(4, 4)
+        stats = stretch_statistics(g, g, percentiles=(50, 90, 99))
+        assert stats.percentiles == {50: 1.0, 90: 1.0, 99: 1.0}
+
+    def test_percentiles_ordered(self):
+        g, sp = tree_spanner_of_cycle(16)
+        stats = stretch_statistics(
+            g, sp.subgraph(), percentiles=(10, 50, 90, 100)
+        )
+        values = [stats.percentiles[p] for p in (10, 50, 90, 100)]
+        assert values == sorted(values)
+        assert stats.percentiles[100] == stats.max_multiplicative
+
+    def test_median_below_max_on_skewed_distribution(self):
+        # Only pairs straddling the deleted edge are stretched, so the
+        # median is far below the max.
+        g, sp = tree_spanner_of_cycle(24)
+        stats = stretch_statistics(
+            g, sp.subgraph(), percentiles=(50, 100)
+        )
+        assert stats.percentiles[50] < stats.percentiles[100] / 2
+
+    def test_invalid_percentile_rejected(self):
+        g = grid_2d(3, 3)
+        with pytest.raises(ValueError):
+            stretch_statistics(g, g, percentiles=(150,))

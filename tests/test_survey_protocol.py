@@ -1,0 +1,47 @@
+"""Tests for the neighborhood-survey protocol."""
+
+from __future__ import annotations
+
+from repro.distributed.survey_protocol import neighborhood_survey
+from repro.graphs import bfs_distances, cycle, grid_2d, path
+
+
+class TestNeighborhoodSurvey:
+    def test_radius_one_learns_incident_plus_neighbor_edges(self):
+        g = path(5)
+        known, _ = neighborhood_survey(g, radius=1)
+        # Vertex 2 hears 1's and 3's incident edges.
+        assert known[2] == {(1, 2), (2, 3), (0, 1), (3, 4)}
+
+    def test_full_radius_learns_whole_graph(self):
+        g = grid_2d(4, 4)
+        known, _ = neighborhood_survey(g, radius=10)
+        for v in g.vertices():
+            assert known[v] == g.edge_set()
+
+    def test_knowledge_contains_true_neighborhood(self):
+        # After r rounds a vertex knows at least every edge whose
+        # endpoints are both within r-1 hops (standard LOCAL simulation).
+        g = cycle(12)
+        r = 3
+        known, _ = neighborhood_survey(g, radius=r)
+        for v in g.vertices():
+            dist = bfs_distances(g, v, cutoff=r - 1)
+            for u, w in g.edges():
+                if dist.get(u, 99) <= r - 1 and dist.get(w, 99) <= r - 1:
+                    assert (u, w) in known[v]
+
+    def test_width_scales_with_neighborhood_size(self):
+        sparse = path(30)
+        dense = grid_2d(6, 6)
+        _, sparse_stats = neighborhood_survey(sparse, radius=4)
+        _, dense_stats = neighborhood_survey(dense, radius=4)
+        assert dense_stats.max_message_words > (
+            sparse_stats.max_message_words
+        )
+
+    def test_message_words_two_per_edge(self):
+        g = path(3)
+        _, stats = neighborhood_survey(g, radius=1)
+        # Setup round: endpoints send their (<=2)-edge lists.
+        assert stats.max_message_words == 4

@@ -1,0 +1,159 @@
+"""Tests for repro.util: RNG plumbing, union-find, word measurement."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import UnionFind, ensure_rng, make_prf, message_words, spawn_rng
+
+
+class TestEnsureRng:
+    def test_int_seed_is_deterministic(self):
+        assert ensure_rng(5).random() == ensure_rng(5).random()
+
+    def test_different_seeds_differ(self):
+        assert ensure_rng(1).random() != ensure_rng(2).random()
+
+    def test_passthrough_of_existing_rng(self):
+        rng = random.Random(3)
+        assert ensure_rng(rng) is rng
+
+    def test_none_gives_fresh_rng(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+
+class TestSpawnRng:
+    def test_streams_are_independent_of_parent_consumption(self):
+        parent1 = ensure_rng(9)
+        child1 = spawn_rng(parent1)
+        parent2 = ensure_rng(9)
+        child2 = spawn_rng(parent2)
+        assert child1.random() == child2.random()
+
+    def test_distinct_streams_differ(self):
+        parent = ensure_rng(9)
+        a = spawn_rng(parent, stream=0)
+        parent = ensure_rng(9)
+        b = spawn_rng(parent, stream=1)
+        assert a.random() != b.random()
+
+
+class TestMakePrf:
+    def test_deterministic_for_seed_and_keys(self):
+        assert make_prf(4)(1, 2) == make_prf(4)(1, 2)
+
+    def test_key_sensitivity(self):
+        prf = make_prf(4)
+        assert prf(1, 2) != prf(2, 1)
+
+    def test_range(self):
+        prf = make_prf(0)
+        values = [prf(i) for i in range(200)]
+        assert all(0 <= v < 1 for v in values)
+
+    def test_roughly_uniform(self):
+        prf = make_prf(123)
+        values = [prf("u", i) for i in range(2000)]
+        mean = sum(values) / len(values)
+        assert 0.45 < mean < 0.55
+
+    def test_shared_randomness_across_instances(self):
+        # Two "processors" with the same seed agree on every decision.
+        assert all(
+            make_prf(77)(r, c) == make_prf(77)(r, c)
+            for r in range(5)
+            for c in range(5)
+        )
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind(range(5))
+        assert uf.n_components == 5
+        assert not uf.connected(0, 1)
+
+    def test_union_and_find(self):
+        uf = UnionFind()
+        assert uf.union(1, 2)
+        assert uf.connected(1, 2)
+        assert not uf.union(1, 2)
+
+    def test_component_size(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.component_size(1) == 3
+        assert uf.component_size(3) == 3
+
+    def test_lazy_add_on_find(self):
+        uf = UnionFind()
+        assert uf.find(42) == 42
+        assert 42 in uf
+
+    def test_representatives_cover_components(self):
+        uf = UnionFind(range(6))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        reps = set(uf.representatives())
+        assert len(reps) == uf.n_components == 4
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=60
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_naive_partition(self, pairs):
+        uf = UnionFind(range(21))
+        groups = {i: {i} for i in range(21)}
+        pointer = {i: i for i in range(21)}
+        for a, b in pairs:
+            uf.union(a, b)
+            ra, rb = pointer[a], pointer[b]
+            if ra != rb:
+                groups[ra] |= groups[rb]
+                for x in groups[rb]:
+                    pointer[x] = ra
+                del groups[rb]
+        for a in range(21):
+            for b in range(21):
+                assert uf.connected(a, b) == (pointer[a] == pointer[b])
+
+
+class TestMessageWords:
+    def test_none_is_free(self):
+        assert message_words(None) == 0
+
+    def test_scalars_cost_one(self):
+        assert message_words(5) == 1
+        assert message_words(2.5) == 1
+        assert message_words(True) == 1
+        assert message_words("tag") == 1
+
+    def test_containers_sum(self):
+        assert message_words((1, 2, 3)) == 3
+        assert message_words([1, (2, 3)]) == 3
+        assert message_words({1: 2, 3: (4, 5)}) == 5
+
+    def test_opaque_objects_cost_one(self):
+        assert message_words(object()) == 1
+
+    @given(
+        st.recursive(
+            st.one_of(st.integers(), st.booleans(), st.text(max_size=3)),
+            lambda inner: st.lists(inner, max_size=4).map(tuple),
+            max_leaves=20,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_words_equals_leaf_count(self, payload):
+        def leaves(x):
+            if isinstance(x, tuple):
+                return sum(leaves(i) for i in x)
+            return 1
+
+        assert message_words(payload) == leaves(payload)

@@ -1,0 +1,139 @@
+"""Tests for the weighted substrate and weighted Baswana–Sen."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.baswana_sen_weighted import baswana_sen_weighted
+from repro.graphs import erdos_renyi_gnp, grid_2d, path
+from repro.graphs.weighted import (
+    WeightedGraph,
+    dijkstra,
+    weighted_stretch,
+)
+
+
+class TestWeightedGraph:
+    def test_construction(self):
+        g = WeightedGraph([(0, 1, 2.5), (1, 2, 1.0)])
+        assert g.n == 3 and g.m == 2
+        assert g.weight(0, 1) == 2.5
+        assert g.weight(1, 0) == 2.5
+
+    def test_rejects_nonpositive_weights(self):
+        g = WeightedGraph()
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, 0)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, -1)
+
+    def test_no_loops_or_duplicates(self):
+        g = WeightedGraph()
+        assert not g.add_edge(1, 1, 1.0)
+        assert g.add_edge(0, 1, 1.0)
+        assert not g.add_edge(1, 0, 5.0)
+        assert g.weight(0, 1) == 1.0
+
+    def test_from_graph_unit_lift(self):
+        base = grid_2d(3, 3)
+        wg = WeightedGraph.from_graph(
+            base, weights={e: 1.0 for e in base.edges()}
+        )
+        assert wg.n == base.n and wg.m == base.m
+
+    def test_from_graph_random_weights_deterministic(self):
+        base = erdos_renyi_gnp(30, 0.2, seed=1)
+        a = WeightedGraph.from_graph(base, seed=2)
+        b = WeightedGraph.from_graph(base, seed=2)
+        assert list(a.edges()) == list(b.edges())
+
+    def test_edge_subgraph_keeps_weights(self):
+        g = WeightedGraph([(0, 1, 3.0), (1, 2, 4.0)])
+        sub = g.edge_subgraph([(0, 1)])
+        assert sub.m == 1 and sub.weight(0, 1) == 3.0
+        assert sub.n == 3
+
+    def test_edge_subgraph_rejects_foreign(self):
+        g = WeightedGraph([(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            g.edge_subgraph([(0, 2)])
+
+    def test_unweighted_projection(self):
+        g = WeightedGraph([(0, 1, 3.0), (1, 2, 4.0)])
+        ug = g.unweighted()
+        assert ug.m == 2 and ug.has_edge(0, 1)
+
+
+class TestDijkstra:
+    def test_weighted_path(self):
+        g = WeightedGraph([(0, 1, 2.0), (1, 2, 3.0), (0, 2, 10.0)])
+        dist = dijkstra(g, 0)
+        assert dist == {0: 0.0, 1: 2.0, 2: 5.0}
+
+    def test_unit_weights_match_bfs(self):
+        base = grid_2d(5, 5)
+        wg = WeightedGraph.from_graph(
+            base, weights={e: 1.0 for e in base.edges()}
+        )
+        from repro.graphs import bfs_distances
+
+        assert dijkstra(wg, 0) == {
+            v: float(d) for v, d in bfs_distances(base, 0).items()
+        }
+
+    def test_cutoff(self):
+        wg = WeightedGraph.from_graph(
+            path(10), weights={(i, i + 1): 1.0 for i in range(9)}
+        )
+        dist = dijkstra(wg, 0, cutoff=3.5)
+        assert max(dist.values()) <= 3.5
+
+    def test_disconnected(self):
+        g = WeightedGraph([(0, 1, 1.0)])
+        g.add_vertex(5)
+        assert 5 not in dijkstra(g, 0)
+
+
+class TestWeightedBaswanaSen:
+    def _random_weighted(self, n, p, seed):
+        return WeightedGraph.from_graph(
+            erdos_renyi_gnp(n, p, seed=seed), seed=seed + 1
+        )
+
+    def test_stretch_guarantee(self):
+        g = self._random_weighted(120, 0.08, seed=1)
+        for k in (2, 3):
+            edges = baswana_sen_weighted(g, k, seed=3)
+            worst, _ = weighted_stretch(g, edges, num_sources=25, seed=4)
+            assert worst <= 2 * k - 1 + 1e-9
+
+    def test_k1_keeps_all(self):
+        g = self._random_weighted(40, 0.2, seed=5)
+        assert len(baswana_sen_weighted(g, 1)) == g.m
+
+    def test_size_shrinks_with_k(self):
+        g = self._random_weighted(300, 0.15, seed=6)
+        size2 = sum(
+            len(baswana_sen_weighted(g, 2, seed=s)) for s in range(3)
+        )
+        size4 = sum(
+            len(baswana_sen_weighted(g, 4, seed=s)) for s in range(3)
+        )
+        assert size4 < size2
+
+    def test_validates_k(self):
+        with pytest.raises(ValueError):
+            baswana_sen_weighted(WeightedGraph(), 0)
+
+    def test_empty_graph(self):
+        assert baswana_sen_weighted(WeightedGraph(), 3) == set()
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=10, deadline=None)
+    def test_property_stretch_on_random_graphs(self, seed):
+        g = self._random_weighted(40, 0.15, seed=seed)
+        edges = baswana_sen_weighted(g, 2, seed=seed + 7)
+        worst, _ = weighted_stretch(g, edges, seed=1)
+        assert worst <= 3 + 1e-9

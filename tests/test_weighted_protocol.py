@@ -1,0 +1,60 @@
+"""Tests for the distributed weighted Baswana–Sen protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.baswana_sen_protocol import (
+    distributed_baswana_sen_weighted,
+)
+from repro.graphs import erdos_renyi_gnp
+from repro.graphs.weighted import WeightedGraph, weighted_stretch
+
+
+def _random_weighted(n, p, seed):
+    return WeightedGraph.from_graph(
+        erdos_renyi_gnp(n, p, seed=seed), seed=seed + 1
+    )
+
+
+class TestDistributedWeightedBaswanaSen:
+    def test_weighted_stretch_guarantee(self):
+        g = _random_weighted(120, 0.08, seed=1)
+        for k in (2, 3):
+            edges, stats = distributed_baswana_sen_weighted(g, k, seed=2)
+            worst, _ = weighted_stretch(g, edges, num_sources=20, seed=3)
+            assert worst <= 2 * k - 1 + 1e-9
+
+    def test_round_and_width_budget(self):
+        g = _random_weighted(100, 0.1, seed=4)
+        k = 3
+        _, stats = distributed_baswana_sen_weighted(g, k, seed=5)
+        assert stats.rounds <= 2 * k + 1
+        assert stats.max_message_words == 1
+
+    def test_k1_keeps_everything(self):
+        g = _random_weighted(30, 0.2, seed=6)
+        edges, _ = distributed_baswana_sen_weighted(g, 1)
+        assert len(edges) == g.m
+
+    def test_size_in_sequential_regime(self):
+        from repro.baselines import baswana_sen_weighted
+
+        g = _random_weighted(250, 0.1, seed=7)
+        dist_edges, _ = distributed_baswana_sen_weighted(g, 3, seed=8)
+        seq_edges = baswana_sen_weighted(g, 3, seed=9)
+        assert 0.4 < len(dist_edges) / max(1, len(seq_edges)) < 2.5
+
+    def test_validates_k(self):
+        with pytest.raises(ValueError):
+            distributed_baswana_sen_weighted(WeightedGraph(), 0)
+
+    def test_light_edges_preferred(self):
+        # A triangle where the heavy edge should be dropped whenever the
+        # algorithm has the choice: with k=2 the spanner either keeps all
+        # (if the triangle edge survives filtering) or drops exactly the
+        # heaviest.
+        g = WeightedGraph([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 100.0)])
+        edges, _ = distributed_baswana_sen_weighted(g, 2, seed=10)
+        worst, _ = weighted_stretch(g, edges, seed=1)
+        assert worst <= 3 + 1e-9

@@ -1,0 +1,109 @@
+"""Tests for the X^t_p recurrence (Lemma 6, the Baswana–Sen correction)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.xtp import (
+    monte_carlo_vertex_contribution,
+    worst_case_q_schedule,
+    x_tp,
+    x_tp_closed_form,
+)
+
+
+def exact_expected_contribution(p: float, qs) -> float:
+    """E[Y_p(q_1, ..., q_t)] via the paper's recurrence (Eq. 1)."""
+    expectation = 0.0
+    for q in reversed(qs):
+        live = 1 - (1 - p) ** (q + 1)
+        expectation = (
+            live * expectation
+            + q * (1 - p) ** (q + 1)
+            + (1 - p) * (1 - (1 - p) ** q)
+        )
+    return expectation
+
+
+class TestXtp:
+    def test_base_case_zero(self):
+        assert x_tp(0.5, 0) == 0.0
+
+    def test_single_call_formula(self):
+        # X^1_p < (1 - 2/e) + 1/(e p)  (Eq. 3).
+        for p in (0.1, 0.25, 0.5):
+            assert x_tp(p, 1) < (1 - 2 / math.e) + 1 / (math.e * p) + 1e-9
+
+    def test_monotone_in_t(self):
+        values = [x_tp(0.2, t) for t in range(6)]
+        assert values == sorted(values)
+
+    def test_decreasing_in_p(self):
+        assert x_tp(0.1, 4) > x_tp(0.5, 4)
+
+    @given(
+        st.floats(0.05, 0.9),
+        st.integers(1, 12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_closed_form_dominates(self, p, t):
+        # Lemma 6: X^t_p <= p^{-1}(ln(t+1) - gamma) + t.
+        assert x_tp(p, t) <= x_tp_closed_form(p, t) + 1e-9
+
+    def test_closed_form_not_absurdly_loose(self):
+        # The bound should be within a small factor of the recurrence.
+        p, t = 0.25, 6
+        assert x_tp_closed_form(p, t) < 3 * x_tp(p, t)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            x_tp(0.0, 3)
+        with pytest.raises(ValueError):
+            x_tp(0.5, -1)
+        with pytest.raises(ValueError):
+            x_tp_closed_form(1.5, 3)
+
+
+class TestExactExpectation:
+    def test_recurrence_dominates_any_schedule(self):
+        # X^t_p is the max over q-schedules of E[Y]; any specific schedule
+        # must come in at or below it.
+        p, t = 0.3, 5
+        x = x_tp(p, t)
+        for qs in ([1] * t, [5] * t, [0, 2, 4, 8, 16], [10, 0, 10, 0, 10]):
+            assert exact_expected_contribution(p, qs) <= x + 1e-9
+
+    def test_worst_case_schedule_achieves_x(self):
+        p, t = 0.3, 4
+        schedule = worst_case_q_schedule(p, t)
+        achieved = exact_expected_contribution(p, schedule)
+        assert achieved == pytest.approx(x_tp(p, t), rel=0.02)
+
+
+class TestMonteCarlo:
+    def test_matches_exact_expectation(self):
+        p = 0.3
+        qs = [4, 6, 8]
+        exact = exact_expected_contribution(p, qs)
+        estimate = monte_carlo_vertex_contribution(
+            p, qs, trials=20_000, seed=5
+        )
+        assert estimate == pytest.approx(exact, rel=0.08)
+
+    def test_zero_schedule(self):
+        # q = 0 everywhere: the vertex dies on its first unsampled round
+        # contributing nothing.
+        assert monte_carlo_vertex_contribution(0.5, [0, 0, 0], trials=500,
+                                               seed=1) == 0.0
+
+    def test_bounded_by_closed_form(self):
+        p, t = 0.25, 5
+        schedule = worst_case_q_schedule(p, t)
+        estimate = monte_carlo_vertex_contribution(
+            p, schedule, trials=20_000, seed=9
+        )
+        assert estimate <= x_tp_closed_form(p, t) * 1.1
