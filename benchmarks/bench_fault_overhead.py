@@ -1,0 +1,100 @@
+"""E20 — reliability is not free: the cost of masking injected faults.
+
+The reliable-delivery layer (acks + retransmission + lockstep frames)
+makes every protocol's output bitwise-identical to its fault-free run —
+the chaos suite asserts that.  This bench measures what that costs:
+real rounds and message traffic versus the raw protocol, swept over
+message-drop rates.  Shape checks: overhead grows with the drop rate,
+the output never changes, and at drop rate 0 the synchronizer's *round*
+overhead is a small constant factor (frames travel in lockstep).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.distributed import (
+    FaultPlan,
+    distributed_baswana_sen,
+    distributed_skeleton,
+)
+from repro.graphs import erdos_renyi_gnp
+
+DROP_RATES = (0.0, 0.05, 0.10, 0.20)
+
+
+def _sweep(run, graph):
+    baseline = run(graph, reliable=False, fault_plan=None)
+    base_edges = set(baseline.edges)
+    base_stats = baseline.metadata["network_stats"]
+    rows = []
+    for rate in DROP_RATES:
+        plan = FaultPlan(seed=17, drop_rate=rate) if rate else None
+        sp = run(graph, reliable=True, fault_plan=plan)
+        st = sp.metadata["network_stats"]
+        assert set(sp.edges) == base_edges  # reliability masks the faults
+        rows.append(
+            (
+                rate,
+                st.rounds,
+                round(st.rounds / max(1, base_stats.rounds), 1),
+                st.messages,
+                round(st.messages / max(1, base_stats.messages), 1),
+                st.dropped,
+                st.retransmissions,
+            )
+        )
+    return base_stats, rows
+
+
+HEADERS = ["drop rate", "rounds", "x raw", "messages", "x raw",
+           "dropped", "retransmits"]
+
+
+def test_baswana_sen_fault_overhead(benchmark, report):
+    graph = erdos_renyi_gnp(120, 0.06, seed=4)
+
+    def sweep():
+        return _sweep(
+            lambda g, **kw: distributed_baswana_sen(g, 3, seed=2, **kw),
+            graph,
+        )
+
+    base_stats, rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E20 / reliability overhead (Baswana-Sen k=3)",
+        format_table(
+            HEADERS, rows,
+            title=(
+                f"raw protocol: {base_stats.rounds} rounds, "
+                f"{base_stats.messages} messages"
+            ),
+        ),
+    )
+    # More loss, more retransmission traffic; never fewer messages.
+    retrans = [r[-1] for r in rows]
+    assert retrans == sorted(retrans)
+    # Fault-free lockstep is cheap in rounds (skew <= 1 per neighbor).
+    assert rows[0][1] <= 3 * base_stats.rounds + 5
+
+
+def test_skeleton_fault_overhead(benchmark, report):
+    graph = erdos_renyi_gnp(60, 0.10, seed=4)
+
+    def sweep():
+        return _sweep(
+            lambda g, **kw: distributed_skeleton(g, D=4, seed=2, **kw),
+            graph,
+        )
+
+    base_stats, rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E20b / reliability overhead (skeleton, D=4)",
+        format_table(
+            HEADERS, rows,
+            title=(
+                f"raw protocol: {base_stats.rounds} rounds, "
+                f"{base_stats.messages} messages"
+            ),
+        ),
+    )
+    assert all(r[3] >= base_stats.messages for r in rows)

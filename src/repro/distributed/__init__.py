@@ -7,6 +7,17 @@ from repro.distributed.simulator import (
     NodeProgram,
     ProtocolError,
 )
+from repro.distributed.faults import (
+    CrashSpec,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.distributed.reliable import (
+    ReliableConfig,
+    ReliableNetwork,
+    ReliableProgram,
+    build_network,
+)
 from repro.distributed.primitives import (
     ball_broadcast_protocol,
     bounded_bfs_protocol,
@@ -21,13 +32,21 @@ from repro.distributed.fibonacci_protocol import (
     distributed_fibonacci_spanner,
 )
 from repro.distributed.skeleton_protocol import distributed_skeleton
+from repro.distributed.survey_protocol import neighborhood_survey
 
 __all__ = [
     "Api",
+    "CrashSpec",
+    "FaultEvent",
+    "FaultPlan",
     "Network",
     "NetworkStats",
     "NodeProgram",
     "ProtocolError",
+    "ReliableConfig",
+    "ReliableNetwork",
+    "ReliableProgram",
+    "build_network",
     "ball_broadcast_protocol",
     "bounded_bfs_protocol",
     "pipelined_broadcast_protocol",
@@ -36,4 +55,5 @@ __all__ = [
     "distributed_baswana_sen_weighted",
     "distributed_fibonacci_spanner",
     "distributed_skeleton",
+    "neighborhood_survey",
 ]

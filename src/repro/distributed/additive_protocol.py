@@ -23,7 +23,9 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional, Set
 
+from repro.distributed.faults import FaultPlan
 from repro.distributed.primitives import pipelined_broadcast_protocol
+from repro.distributed.reliable import ReliableConfig, build_network
 from repro.distributed.simulator import Api, Network, NodeProgram
 from repro.graphs.graph import Edge, Graph, canonical_edge
 from repro.spanner.spanner import Spanner
@@ -73,13 +75,17 @@ def distributed_additive2(
     threshold: Optional[int] = None,
     seed: SeedLike = None,
     max_message_words: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    reliable: bool = False,
+    reliable_config: Optional[ReliableConfig] = None,
 ) -> Spanner:
     """Build an additive 2-spanner by message passing.
 
     Metadata records the per-phase :class:`NetworkStats` — the tree phase
     is where the Theorem 5 width/time floor shows up — plus the dominator
     count.  ``max_message_words`` caps the tree-phase width (the exchange
-    phase uses 3-word messages).
+    phase uses 3-word messages).  ``fault_plan``/``reliable`` apply fault
+    injection and the reliable-delivery adapter to both phases.
     """
     n = graph.n
     if n == 0:
@@ -100,8 +106,13 @@ def distributed_additive2(
         )
         for v in graph.vertices()
     }
-    network = Network(
-        graph, programs=programs, max_message_words=max_message_words
+    network = build_network(
+        graph,
+        programs,
+        max_message_words=max_message_words,
+        fault_plan=fault_plan,
+        reliable=reliable,
+        reliable_config=reliable_config,
     )
     exchange_stats = network.run(max_rounds=4)
     for v, prog in programs.items():
@@ -126,6 +137,9 @@ def distributed_additive2(
         dominators,
         max_rounds=4 * n + 4 * len(dominators),
         max_message_words=max_message_words,
+        fault_plan=fault_plan,
+        reliable=reliable,
+        reliable_config=reliable_config,
     )
     for v, sources in known.items():
         for s, (_, parent) in sources.items():
@@ -140,6 +154,7 @@ def distributed_additive2(
         {
             "algorithm": "additive-2-distributed",
             "threshold": threshold,
+            "reliable": reliable,
             "dominators": len(dominators),
             "network_stats": total,
             "tree_phase_rounds": tree_stats.rounds,

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.distributed.faults import FaultPlan
+from repro.distributed.reliable import ReliableConfig, build_network
 from repro.distributed.simulator import Api, Network, NodeProgram
 from repro.graphs.graph import Edge, Graph, canonical_edge
 from repro.spanner.spanner import Spanner
@@ -165,6 +167,9 @@ def distributed_baswana_sen_weighted(
     k: int,
     seed: SeedLike = None,
     max_message_words: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    reliable: bool = False,
+    reliable_config: Optional[ReliableConfig] = None,
 ):
     """Run the weighted (2k-1)-spanner protocol (Fig. 1's first row).
 
@@ -185,8 +190,13 @@ def distributed_baswana_sen_weighted(
         )
         for v in graph.vertices()
     }
-    network = Network(
-        graph, programs=programs, max_message_words=max_message_words
+    network = build_network(
+        graph,
+        programs,
+        max_message_words=max_message_words,
+        fault_plan=fault_plan,
+        reliable=reliable,
+        reliable_config=reliable_config,
     )
     stats = network.run(max_rounds=2 * k + 1)
     edges: Set[Edge] = set()
@@ -200,10 +210,15 @@ def distributed_baswana_sen(
     k: int,
     seed: SeedLike = None,
     max_message_words: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    reliable: bool = False,
+    reliable_config: Optional[ReliableConfig] = None,
 ) -> Spanner:
     """Run the distributed (2k-1)-spanner protocol; 2k rounds, unit messages.
 
     Metadata carries the :class:`NetworkStats` under ``"network_stats"``.
+    ``fault_plan``/``reliable`` plug in fault injection and the
+    reliable-delivery adapter (see :mod:`repro.distributed.reliable`).
     """
     if k < 1:
         raise ValueError("k must be >= 1")
@@ -218,8 +233,13 @@ def distributed_baswana_sen(
         v: _BaswanaSenProgram(v, k, sample_p, prf)
         for v in graph.vertices()
     }
-    network = Network(
-        graph, programs=programs, max_message_words=max_message_words
+    network = build_network(
+        graph,
+        programs,
+        max_message_words=max_message_words,
+        fault_plan=fault_plan,
+        reliable=reliable,
+        reliable_config=reliable_config,
     )
     stats = network.run(max_rounds=2 * k + 1)
     edges: Set[Edge] = set()
@@ -232,6 +252,7 @@ def distributed_baswana_sen(
             "algorithm": "baswana-sen-distributed",
             "k": k,
             "sample_p": sample_p,
+            "reliable": reliable,
             "network_stats": stats,
         },
     )

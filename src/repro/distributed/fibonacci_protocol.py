@@ -26,11 +26,13 @@ import math
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.fibonacci import FibonacciParams, sample_levels
+from repro.distributed.faults import FaultPlan
 from repro.distributed.primitives import (
     ball_broadcast_protocol,
     bounded_bfs_protocol,
     path_retrace_protocol,
 )
+from repro.distributed.reliable import ReliableConfig
 from repro.distributed.simulator import NetworkStats
 from repro.graphs.graph import Edge, Graph, canonical_edge
 from repro.graphs.properties import bfs_distances
@@ -80,6 +82,9 @@ def distributed_fibonacci_spanner(
     seed: SeedLike = None,
     levels: Optional[List[Set[int]]] = None,
     failure_detection: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
+    reliable: bool = False,
+    reliable_config: Optional[ReliableConfig] = None,
 ) -> Spanner:
     """Build a Fibonacci spanner by message passing (Theorem 8).
 
@@ -90,9 +95,17 @@ def distributed_fibonacci_spanner(
 
     The returned spanner's metadata carries the aggregated
     :class:`NetworkStats` under ``"network_stats"`` plus a per-phase
-    breakdown under ``"phase_stats"``.
+    breakdown under ``"phase_stats"``.  ``fault_plan``/``reliable``
+    apply fault injection and the reliable-delivery adapter to every
+    communication phase (each phase is its own network, so the plan's
+    per-round decisions restart with each phase's round counter).
     """
     n = graph.n
+    net_kwargs = {
+        "fault_plan": fault_plan,
+        "reliable": reliable,
+        "reliable_config": reliable_config,
+    }
     params = FibonacciParams.resolve(n, order=order, eps=eps, ell=ell)
     cap = max_message_words
     if cap is None and t is not None:
@@ -114,7 +127,7 @@ def distributed_fibonacci_spanner(
     for i in range(1, o + 1):
         radius = int(ell_val ** (i - 1))
         dist, _, parent, stats = bounded_bfs_protocol(
-            graph, levels[i], radius, max_message_words=cap
+            graph, levels[i], radius, max_message_words=cap, **net_kwargs
         )
         phase_stats.append((f"forest[{i}]", stats))
         for v, d in dist.items():
@@ -132,14 +145,15 @@ def distributed_fibonacci_spanner(
         # delta(., V_{i+1}) up to radius + 1 (enough to cut the balls).
         if i < o and levels[i + 1]:
             dist_next, _, _, stats = bounded_bfs_protocol(
-                graph, levels[i + 1], radius + 1, max_message_words=cap
+                graph, levels[i + 1], radius + 1, max_message_words=cap,
+                **net_kwargs
             )
             phase_stats.append((f"cutoff[{i}]", stats))
         else:
             dist_next = {}
 
         known, ceased, stats = ball_broadcast_protocol(
-            graph, targets, radius, max_message_words=cap
+            graph, targets, radius, max_message_words=cap, **net_kwargs
         )
         phase_stats.append((f"ball[{i}]", stats))
 
@@ -147,7 +161,8 @@ def distributed_fibonacci_spanner(
         failed: List[int] = []
         if ceased and failure_detection:
             known_ceased, _, stats = ball_broadcast_protocol(
-                graph, ceased.keys(), radius, max_message_words=None
+                graph, ceased.keys(), radius, max_message_words=None,
+                **net_kwargs
             )
             phase_stats.append((f"detect[{i}]", stats))
             for x in sorted(collectors):
@@ -161,7 +176,7 @@ def distributed_fibonacci_spanner(
             # include all adjacent edges; the command broadcast costs one
             # more ball-broadcast phase.
             _, _, stats = ball_broadcast_protocol(
-                graph, failed, radius, max_message_words=None
+                graph, failed, radius, max_message_words=None, **net_kwargs
             )
             phase_stats.append((f"fallback[{i}]", stats))
             fallback_commands += len(failed)
@@ -188,7 +203,8 @@ def distributed_fibonacci_spanner(
             for v, know in known.items()
         }
         path_edges, stats = path_retrace_protocol(
-            graph, parent_maps, requests, radius, max_message_words=cap
+            graph, parent_maps, requests, radius, max_message_words=cap,
+            **net_kwargs
         )
         phase_stats.append((f"retrace[{i}]", stats))
         edges |= path_edges
@@ -204,6 +220,7 @@ def distributed_fibonacci_spanner(
         "eps": params.eps,
         "ell": ell_val,
         "t": t,
+        "reliable": reliable,
         "message_cap": cap,
         "probabilities": params.probabilities,
         "level_sizes": [len(lv) for lv in levels],

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.distributed.faults import FaultPlan
+from repro.distributed.reliable import ReliableConfig, build_network
 from repro.distributed.simulator import Api, Network, NetworkStats, NodeProgram
 from repro.graphs.graph import Edge, Graph, canonical_edge
 
@@ -65,6 +67,9 @@ def bounded_bfs_protocol(
     sources: Iterable[int],
     radius: int,
     max_message_words: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    reliable: bool = False,
+    reliable_config: Optional[ReliableConfig] = None,
 ) -> Tuple[Dict[int, int], Dict[int, int], Dict[int, Optional[int]], NetworkStats]:
     """Distributed multi-source BFS truncated at ``radius`` hops.
 
@@ -75,8 +80,13 @@ def bounded_bfs_protocol(
     programs = {
         v: _BfsProgram(v, v in source_set) for v in graph.vertices()
     }
-    network = Network(
-        graph, programs=programs, max_message_words=max_message_words
+    network = build_network(
+        graph,
+        programs,
+        max_message_words=max_message_words,
+        fault_plan=fault_plan,
+        reliable=reliable,
+        reliable_config=reliable_config,
     )
     stats = network.run(max_rounds=radius)
     dist = {v: p.dist for v, p in programs.items() if p.dist is not None}
@@ -145,6 +155,9 @@ def ball_broadcast_protocol(
     sources: Iterable[int],
     radius: int,
     max_message_words: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    reliable: bool = False,
+    reliable_config: Optional[ReliableConfig] = None,
 ) -> Tuple[
     Dict[int, Dict[int, Tuple[int, Optional[int]]]],
     Dict[int, int],
@@ -161,8 +174,13 @@ def ball_broadcast_protocol(
         v: _BallProgram(v, v in source_set, max_message_words)
         for v in graph.vertices()
     }
-    network = Network(
-        graph, programs=programs, max_message_words=max_message_words
+    network = build_network(
+        graph,
+        programs,
+        max_message_words=max_message_words,
+        fault_plan=fault_plan,
+        reliable=reliable,
+        reliable_config=reliable_config,
     )
     stats = network.run(max_rounds=radius)
     known = {v: dict(p.known) for v, p in programs.items()}
@@ -234,6 +252,9 @@ def pipelined_broadcast_protocol(
     sources: Iterable[int],
     max_rounds: int,
     max_message_words: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    reliable: bool = False,
+    reliable_config: Optional[ReliableConfig] = None,
 ) -> Tuple[
     Dict[int, Dict[int, Tuple[int, Optional[int]]]],
     NetworkStats,
@@ -251,8 +272,13 @@ def pipelined_broadcast_protocol(
         )
         for v in graph.vertices()
     }
-    network = Network(
-        graph, programs=programs, max_message_words=max_message_words
+    network = build_network(
+        graph,
+        programs,
+        max_message_words=max_message_words,
+        fault_plan=fault_plan,
+        reliable=reliable,
+        reliable_config=reliable_config,
     )
     stats = network.run(max_rounds=max_rounds, stop_when_idle=True)
     known = {v: dict(p.known) for v, p in programs.items()}
@@ -304,6 +330,9 @@ def path_retrace_protocol(
     requests: Dict[int, List[int]],
     radius: int,
     max_message_words: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    reliable: bool = False,
+    reliable_config: Optional[ReliableConfig] = None,
 ) -> Tuple[Set[Edge], NetworkStats]:
     """Add shortest paths P(x, u) for every request ``u in requests[x]``.
 
@@ -317,8 +346,13 @@ def path_retrace_protocol(
         )
         for v in graph.vertices()
     }
-    network = Network(
-        graph, programs=programs, max_message_words=max_message_words
+    network = build_network(
+        graph,
+        programs,
+        max_message_words=max_message_words,
+        fault_plan=fault_plan,
+        reliable=reliable,
+        reliable_config=reliable_config,
     )
     stats = network.run(max_rounds=radius)
     edges: Set[Edge] = set()

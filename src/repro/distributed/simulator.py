@@ -19,9 +19,18 @@ latter is how benches *observe* a protocol's message-length requirement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.distributed.faults import (
+    CRASH_DROP,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    REORDER,
+    FaultEvent,
+    FaultPlan,
+)
 from repro.graphs.graph import Graph
 from repro.util.words import message_words
 
@@ -42,6 +51,16 @@ class NetworkStats:
     max_message_words: int = 0
     cap: Optional[int] = None
     violations: int = 0
+    #: fault-injection accounting (all zero on a clean network).
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    reordered: int = 0
+    #: reliable-delivery layer accounting (zero without the adapter).
+    retransmissions: int = 0
+    dead_links: int = 0
+    #: injected events, in order (truncated at the plan's log limit).
+    fault_events: List[FaultEvent] = field(default_factory=list)
 
     def observe(self, words: int) -> None:
         self.messages += 1
@@ -50,6 +69,16 @@ class NetworkStats:
             self.max_message_words = words
         if self.cap is not None and words > self.cap:
             self.violations += 1
+
+    def record_fault(self, event: FaultEvent, limit: int = 256) -> None:
+        """Append to the event log unless the log is already full."""
+        if len(self.fault_events) < limit:
+            self.fault_events.append(event)
+
+    @property
+    def faults_injected(self) -> int:
+        """Total messages perturbed by the fault plan."""
+        return self.dropped + self.duplicated + self.delayed + self.reordered
 
     def merged_with(self, other: "NetworkStats") -> "NetworkStats":
         """Combine stats from sequential protocol phases."""
@@ -63,15 +92,33 @@ class NetworkStats:
             ),
             cap=min(caps) if caps else None,
             violations=self.violations + other.violations,
+            dropped=self.dropped + other.dropped,
+            duplicated=self.duplicated + other.duplicated,
+            delayed=self.delayed + other.delayed,
+            reordered=self.reordered + other.reordered,
+            retransmissions=self.retransmissions + other.retransmissions,
+            dead_links=self.dead_links + other.dead_links,
+            fault_events=(self.fault_events + other.fault_events)[:512],
         )
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"rounds={self.rounds} messages={self.messages} "
             f"max_words={self.max_message_words}"
             + (f" cap={self.cap} violations={self.violations}"
                if self.cap is not None else "")
         )
+        if self.faults_injected:
+            text += (
+                f" dropped={self.dropped} duplicated={self.duplicated}"
+                f" delayed={self.delayed} reordered={self.reordered}"
+            )
+        if self.retransmissions or self.dead_links:
+            text += (
+                f" retransmissions={self.retransmissions}"
+                f" dead_links={self.dead_links}"
+            )
+        return text
 
 
 class Api:
@@ -136,10 +183,11 @@ class Network:
     def __init__(
         self,
         graph: Graph,
-        programs: Dict[int, NodeProgram] = None,
-        program_factory: Callable[[int], NodeProgram] = None,
+        programs: Optional[Dict[int, NodeProgram]] = None,
+        program_factory: Optional[Callable[[int], NodeProgram]] = None,
         max_message_words: Optional[int] = None,
         strict: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if (programs is None) == (program_factory is None):
             raise ValueError(
@@ -148,16 +196,25 @@ class Network:
         self.graph = graph
         if programs is None:
             programs = {v: program_factory(v) for v in graph.vertices()}
-        missing = [v for v in graph.vertices() if v not in programs]
+        vertex_set = set(graph.vertices())
+        missing = sorted(vertex_set - set(programs))
         if missing:
             raise ValueError(f"no program for vertices {missing[:5]}...")
+        unknown = sorted(set(programs) - vertex_set)
+        if unknown:
+            raise ValueError(
+                f"programs for vertices not in the graph: {unknown[:5]}"
+            )
         self.programs = programs
         self.strict = strict
+        self.fault_plan = fault_plan
         self.stats = NetworkStats(cap=max_message_words)
         self._apis = {v: Api(self, v) for v in graph.vertices()}
         self._sorted_nbrs: Dict[int, List[int]] = {}
         #: messages in flight: dst -> list of (src, payload).
         self._pending: Dict[int, List[Tuple[int, Any]]] = {}
+        #: fault-delayed messages: delivery round -> [(dst, src, payload)].
+        self._delayed: Dict[int, List[Tuple[int, int, Any]]] = {}
         self._setup_done = False
 
     def sorted_neighbors(self, v: int) -> List[int]:
@@ -169,9 +226,20 @@ class Network:
     def all_halted(self) -> bool:
         return all(api._halted for api in self._apis.values())
 
+    @property
+    def in_flight(self) -> bool:
+        """Whether any message (pending or fault-delayed) is in transit."""
+        return bool(self._pending) or bool(self._delayed)
+
     def _collect_outboxes(self) -> None:
-        """Merge this round's sends into next round's inboxes + account."""
-        next_pending: Dict[int, List[Tuple[int, Any]]] = {}
+        """Merge this round's sends into next round's inboxes + account.
+
+        Two passes: the first validates every slot against the strict
+        cap *before* anything is counted or queued, so a
+        :class:`ProtocolError` leaves stats, outboxes and in-flight
+        messages exactly as they were.
+        """
+        staged: List[Tuple[int, int, List[Any], int]] = []
         for v in sorted(self._apis):
             api = self._apis[v]
             if not api._outbox:
@@ -179,10 +247,8 @@ class Network:
             per_dst: Dict[int, List[Any]] = {}
             for dst, payload in api._outbox:
                 per_dst.setdefault(dst, []).append(payload)
-            api._outbox = []
             for dst, payloads in per_dst.items():
                 words = sum(message_words(p) for p in payloads)
-                self.stats.observe(words)
                 if (
                     self.strict
                     and self.stats.cap is not None
@@ -192,10 +258,76 @@ class Network:
                         f"node {v} sent {words} words to {dst}, "
                         f"cap is {self.stats.cap}"
                     )
-                bucket = next_pending.setdefault(dst, [])
-                for payload in payloads:
-                    bucket.append((v, payload))
+                staged.append((v, dst, payloads, words))
+        next_pending: Dict[int, List[Tuple[int, Any]]] = {}
+        for v, dst, payloads, words in staged:
+            self.stats.observe(words)
+            bucket = next_pending.setdefault(dst, [])
+            for payload in payloads:
+                bucket.append((v, payload))
+        for api in self._apis.values():
+            api._outbox = []
         self._pending = next_pending
+
+    def _apply_faults(
+        self, round_no: int, pending: Dict[int, List[Tuple[int, Any]]]
+    ) -> Dict[int, List[Tuple[int, Any]]]:
+        """Consult the fault plan for every delivery due this round."""
+        plan = self.fault_plan
+        stats = self.stats
+        limit = plan.max_logged_events
+        for event in plan.transitions(round_no):
+            stats.record_fault(event, limit)
+        delivered: Dict[int, List[Tuple[int, Any]]] = {}
+        for dst in sorted(pending):
+            msgs = pending[dst]
+            if plan.is_crashed(dst, round_no):
+                stats.dropped += len(msgs)
+                stats.record_fault(
+                    FaultEvent(CRASH_DROP, round_no, dst=dst,
+                               info=len(msgs)),
+                    limit,
+                )
+                continue
+            bucket: List[Tuple[int, Any]] = []
+            for slot, (src, payload) in enumerate(msgs):
+                kind, info = plan.decide(round_no, src, dst, slot)
+                if kind == DROP:
+                    stats.dropped += 1
+                    stats.record_fault(
+                        FaultEvent(DROP, round_no, src, dst), limit
+                    )
+                elif kind == DUPLICATE:
+                    stats.duplicated += 1
+                    stats.record_fault(
+                        FaultEvent(DUPLICATE, round_no, src, dst), limit
+                    )
+                    bucket.append((src, payload))
+                    bucket.append((src, payload))
+                elif kind == DELAY:
+                    stats.delayed += 1
+                    stats.record_fault(
+                        FaultEvent(DELAY, round_no, src, dst, info=info),
+                        limit,
+                    )
+                    self._delayed.setdefault(round_no + info, []).append(
+                        (dst, src, payload)
+                    )
+                else:
+                    bucket.append((src, payload))
+            if bucket:
+                delivered[dst] = bucket
+        # Fault-delayed messages due now join the inboxes directly (their
+        # fate was already decided when they were first due).
+        for dst, src, payload in self._delayed.pop(round_no, ()):
+            if plan.is_crashed(dst, round_no):
+                stats.dropped += 1
+                stats.record_fault(
+                    FaultEvent(CRASH_DROP, round_no, src, dst), limit
+                )
+                continue
+            delivered.setdefault(dst, []).append((src, payload))
+        return delivered
 
     def run(
         self, max_rounds: int, stop_when_idle: bool = False
@@ -209,8 +341,11 @@ class Network:
         speed-up for phases whose synchronous budget far exceeds the
         actual traffic (the budget is reported separately by callers).
         """
+        plan = self.fault_plan
         if not self._setup_done:
             for v in sorted(self._apis):
+                if plan is not None and plan.is_crashed(v, 0):
+                    continue
                 self.programs[v].setup(self._apis[v])
             self._collect_outboxes()
             self._setup_done = True
@@ -218,14 +353,31 @@ class Network:
             if self.all_halted:
                 break
             self.stats.rounds += 1
+            round_no = self.stats.rounds
             pending, self._pending = self._pending, {}
+            if plan is not None:
+                pending = self._apply_faults(round_no, pending)
             for v in sorted(self._apis):
                 api = self._apis[v]
                 if api._halted:
                     continue
+                if plan is not None and plan.is_crashed(v, round_no):
+                    continue
                 inbox = sorted(pending.get(v, ()), key=lambda sp: sp[0])
-                self.programs[v].on_round(api, self.stats.rounds, inbox)
+                if plan is not None:
+                    perm = plan.reorder_permutation(
+                        round_no, v, len(inbox)
+                    )
+                    if perm is not None:
+                        inbox = [inbox[i] for i in perm]
+                        self.stats.reordered += 1
+                        self.stats.record_fault(
+                            FaultEvent(REORDER, round_no, dst=v,
+                                       info=len(inbox)),
+                            plan.max_logged_events,
+                        )
+                self.programs[v].on_round(api, round_no, inbox)
             self._collect_outboxes()
-            if stop_when_idle and not self._pending:
+            if stop_when_idle and not self.in_flight:
                 break
         return self.stats

@@ -41,6 +41,8 @@ import math
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.schedule import Round, build_schedule, exact_form_schedule
+from repro.distributed.faults import FaultPlan
+from repro.distributed.reliable import ReliableConfig, build_network
 from repro.distributed.simulator import Api, Network, NetworkStats, NodeProgram
 from repro.graphs.graph import Edge, Graph, canonical_edge
 from repro.spanner.spanner import Spanner
@@ -355,6 +357,9 @@ def distributed_skeleton(
     schedule: Optional[List[Round]] = None,
     max_message_words: Optional[int] = None,
     q_abort_override: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    reliable: bool = False,
+    reliable_config: Optional[ReliableConfig] = None,
 ) -> Spanner:
     """Run the Theorem 2 protocol on ``graph``.
 
@@ -366,6 +371,11 @@ def distributed_skeleton(
     supervertices that died through the abort path (``"aborts"``).
     ``q_abort_override`` replaces the paper's 4 s_i ln n threshold —
     failure-injection tests use tiny values to force the abort path.
+
+    ``fault_plan`` injects faults at delivery time; ``reliable=True``
+    runs every program under the reliable-delivery adapter (sequence
+    numbers, acks, retransmission), which preserves the fault-free
+    execution exactly under drop/duplicate/delay/reorder plans.
     """
     n = graph.n
     prf = make_prf(seed)
@@ -383,7 +393,14 @@ def distributed_skeleton(
     cap_entries = max(1, (cap - 6) // 3)
 
     programs = {v: _SkeletonProgram(v) for v in graph.vertices()}
-    network = Network(graph, programs=programs, max_message_words=cap)
+    network = build_network(
+        graph,
+        programs,
+        max_message_words=cap,
+        fault_plan=fault_plan,
+        reliable=reliable,
+        reliable_config=reliable_config,
+    )
     log_n = math.log(max(2, n))
 
     def run_phase(name: str, budget: int, **config: Any) -> int:
@@ -393,7 +410,7 @@ def distributed_skeleton(
         network.run(max_rounds=budget, stop_when_idle=True)
         # Drain any messages still in flight (the synchronous schedule
         # would have waited the full budget; we stop once quiet).
-        while network._pending:
+        while network.in_flight:
             network.run(max_rounds=1)
         return network.stats.rounds - before
 
@@ -466,6 +483,7 @@ def distributed_skeleton(
         "algorithm": "pettie-skeleton-distributed",
         "D": D,
         "eps": eps,
+        "reliable": reliable,
         "message_cap": cap,
         "network_stats": network.stats,
         "budgeted_rounds": budgeted_rounds,

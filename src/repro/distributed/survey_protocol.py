@@ -11,8 +11,10 @@ quantity the paper contrasts with the skeleton's O(log^eps n) words.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.distributed.faults import FaultPlan
+from repro.distributed.reliable import ReliableConfig, build_network
 from repro.distributed.simulator import Api, Network, NetworkStats, NodeProgram
 from repro.graphs.graph import Edge, Graph, canonical_edge
 
@@ -48,7 +50,11 @@ class _SurveyProgram(NodeProgram):
 
 
 def neighborhood_survey(
-    graph: Graph, radius: int
+    graph: Graph,
+    radius: int,
+    fault_plan: Optional[FaultPlan] = None,
+    reliable: bool = False,
+    reliable_config: Optional[ReliableConfig] = None,
 ) -> Tuple[Dict[int, Set[Edge]], NetworkStats]:
     """Every vertex collects all edges within ``radius`` hops.
 
@@ -56,8 +62,16 @@ def neighborhood_survey(
     the approach demands (2 words per edge) and ``known[v]`` slightly
     over-approximates the r-neighborhood (edges propagate along shortest
     edge-to-vertex chains, the standard LOCAL-model simulation).
+    ``fault_plan``/``reliable`` plug in fault injection and the
+    reliable-delivery adapter.
     """
     programs = {v: _SurveyProgram(v) for v in graph.vertices()}
-    network = Network(graph, programs=programs)
+    network = build_network(
+        graph,
+        programs,
+        fault_plan=fault_plan,
+        reliable=reliable,
+        reliable_config=reliable_config,
+    )
     stats = network.run(max_rounds=radius, stop_when_idle=True)
     return {v: p.known_edges for v, p in programs.items()}, stats

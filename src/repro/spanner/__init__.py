@@ -8,16 +8,28 @@ from repro.spanner.stretch import (
     stretch_statistics,
 )
 from repro.spanner.verification import (
+    INVALID,
+    VALID,
+    VALID_DENSER,
+    DegradationReport,
+    classify_outcome,
+    repair_connectivity,
     verify_connectivity,
     verify_spanner_guarantee,
     verify_subgraph,
 )
 
 __all__ = [
+    "DegradationReport",
+    "INVALID",
     "Spanner",
     "StretchStats",
+    "VALID",
+    "VALID_DENSER",
+    "classify_outcome",
     "distance_profile",
     "pair_stretch",
+    "repair_connectivity",
     "stretch_statistics",
     "verify_connectivity",
     "verify_spanner_guarantee",

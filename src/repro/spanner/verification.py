@@ -9,16 +9,25 @@ Three checks, in increasing strength:
    connectivity", Sect. 1);
 3. :func:`verify_spanner_guarantee` — the (alpha, beta) inequality
    ``delta_S(u, v) <= alpha * delta(u, v) + beta`` holds on (sampled) pairs.
+
+For runs under fault injection (:mod:`repro.distributed.faults`) two
+post-mortem helpers grade and patch the outcome:
+:func:`classify_outcome` buckets a run as *valid* / *valid-but-denser* /
+*invalid*, and :func:`repair_connectivity` is the local repair pass that
+re-adds the boundary edges of crashed (super)vertices and then completes
+any remaining cut with a deterministic union-find sweep.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Set, Tuple
 
-from repro.graphs.graph import Edge, Graph
+from repro.graphs.graph import Edge, Graph, canonical_edge
 from repro.graphs.properties import bfs_distances, connected_components
 from repro.spanner.stretch import _pick_sources
 from repro.util.rng import SeedLike
+from repro.util.unionfind import UnionFind
 
 
 def verify_subgraph(host: Graph, edges: Iterable[Edge]) -> bool:
@@ -63,3 +72,142 @@ def verify_spanner_guarantee(
                 worst_excess = excess
                 worst = (s, v, dg, ds)
     return worst is None, worst
+
+
+VALID = "valid"
+VALID_DENSER = "valid-but-denser"
+INVALID = "invalid"
+
+
+@dataclass
+class DegradationReport:
+    """Post-run grade of a (possibly fault-degraded) spanner.
+
+    ``status`` is one of :data:`VALID` (all requested checks pass and the
+    size is within ``size_slack`` of the fault-free baseline),
+    :data:`VALID_DENSER` (correct but paid for fault tolerance with extra
+    edges), or :data:`INVALID` (a safety check failed — the run must be
+    treated as a loud failure).
+    """
+
+    status: str
+    subgraph_ok: bool
+    connectivity_ok: bool
+    stretch_ok: Optional[bool]
+    size: int
+    baseline_size: Optional[int] = None
+    worst_pair: Optional[Tuple[int, int, int, float]] = None
+    reasons: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status != INVALID
+
+    def __str__(self) -> str:
+        note = f" ({'; '.join(self.reasons)})" if self.reasons else ""
+        return f"{self.status}: {self.size} edges{note}"
+
+
+def classify_outcome(
+    host: Graph,
+    edges: Iterable[Edge],
+    alpha: Optional[float] = None,
+    beta: float = 0.0,
+    baseline_size: Optional[int] = None,
+    size_slack: float = 1.0,
+    num_sources: Optional[int] = None,
+    seed: SeedLike = None,
+) -> DegradationReport:
+    """Grade a run's edge set: valid / valid-but-denser / invalid.
+
+    Safety checks (subgraph containment, component preservation, and —
+    when ``alpha`` is given — the (alpha, beta) stretch inequality) decide
+    valid vs. invalid; ``baseline_size`` (e.g. the fault-free run's edge
+    count) times ``size_slack`` separates :data:`VALID` from
+    :data:`VALID_DENSER`, the graceful-degradation bucket where faults
+    cost density but not correctness.
+    """
+    edge_set = {canonical_edge(u, v) for u, v in edges}
+    spanner_graph = Graph(host.vertices(), edge_set)
+    reasons: List[str] = []
+
+    subgraph_ok = verify_subgraph(host, edge_set)
+    if not subgraph_ok:
+        reasons.append("edges outside the host graph")
+    connectivity_ok = verify_connectivity(host, spanner_graph)
+    if not connectivity_ok:
+        reasons.append("host components not preserved")
+
+    stretch_ok: Optional[bool] = None
+    worst: Optional[Tuple[int, int, int, float]] = None
+    if alpha is not None and subgraph_ok and connectivity_ok:
+        stretch_ok, worst = verify_spanner_guarantee(
+            host, spanner_graph, alpha, beta,
+            num_sources=num_sources, seed=seed,
+        )
+        if not stretch_ok:
+            reasons.append(
+                f"stretch ({alpha}, {beta}) violated at {worst}"
+            )
+
+    if not subgraph_ok or not connectivity_ok or stretch_ok is False:
+        status = INVALID
+    elif (
+        baseline_size is not None
+        and len(edge_set) > size_slack * baseline_size
+    ):
+        status = VALID_DENSER
+        reasons.append(
+            f"{len(edge_set)} edges vs. baseline {baseline_size}"
+        )
+    else:
+        status = VALID
+    return DegradationReport(
+        status=status,
+        subgraph_ok=subgraph_ok,
+        connectivity_ok=connectivity_ok,
+        stretch_ok=stretch_ok,
+        size=len(edge_set),
+        baseline_size=baseline_size,
+        worst_pair=worst,
+        reasons=reasons,
+    )
+
+
+def repair_connectivity(
+    host: Graph,
+    edges: Iterable[Edge],
+    crashed: Iterable[int] = (),
+) -> Tuple[Set[Edge], List[Edge]]:
+    """Local repair pass for runs with crashed (super)vertices.
+
+    Crashed nodes drop out of the protocol mid-run, so the edges their
+    supervertices were responsible for may be missing from the output.
+    The repair is the obvious local one: every boundary edge of a crashed
+    vertex rejoins the spanner (its live endpoint knows the edge exists
+    and that the other side went silent), then a deterministic union-find
+    sweep over the host's remaining edges closes any cut that is still
+    open.  Returns ``(repaired_edges, added)`` with ``added`` sorted.
+    """
+    repaired = {canonical_edge(u, v) for u, v in edges}
+    added: Set[Edge] = set()
+    crashed_set = set(crashed)
+    for v in sorted(crashed_set):
+        if v not in host:
+            continue
+        for u in host.neighbors(v):
+            e = canonical_edge(u, v)
+            if e not in repaired:
+                added.add(e)
+                repaired.add(e)
+
+    uf = UnionFind(host.vertices())
+    for u, v in repaired:
+        uf.union(u, v)
+    for u, v in sorted(host.edges()):
+        if not uf.connected(u, v):
+            e = canonical_edge(u, v)
+            repaired.add(e)
+            added.add(e)
+            uf.union(u, v)
+    return repaired, sorted(added)

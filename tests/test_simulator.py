@@ -200,3 +200,121 @@ class TestStats:
         s = NetworkStats(cap=4)
         assert "cap=4" in str(s)
         assert "cap" not in str(NetworkStats())
+
+
+class TestStrictCapAtomicity:
+    """Regression: a strict-cap violation must not leave partial state.
+
+    The old single-pass collection observed (and queued) earlier buckets
+    before discovering a violating one, so the raised ProtocolError left
+    ``stats`` counting messages that were never delivered.
+    """
+
+    class _MixedWidth(NodeProgram):
+        def setup(self, api):
+            if api.node_id == 0:
+                api.send(1, "ok")  # 1 word, under the cap
+                api.send(2, (1, 2, 3, 4, 5))  # 5 words, over the cap
+
+        def on_round(self, api, round_index, inbox):
+            pass
+
+    def test_violation_counts_and_queues_nothing(self):
+        g = star(3)
+        net = Network(
+            g,
+            program_factory=lambda v: self._MixedWidth(),
+            max_message_words=3,
+            strict=True,
+        )
+        with pytest.raises(ProtocolError):
+            net.run(1)
+        assert net.stats.messages == 0
+        assert net.stats.total_words == 0
+        assert net.stats.max_message_words == 0
+        assert not net.in_flight
+
+    def test_violation_after_clean_rounds_keeps_prior_stats(self):
+        class LateWide(NodeProgram):
+            def on_round(self, api, round_index, inbox):
+                if api.node_id == 0:
+                    if round_index == 1:
+                        api.send(1, "ok")
+                    elif round_index == 2:
+                        api.send(1, (1, 2, 3, 4, 5))
+
+        g = path(2)
+        net = Network(
+            g,
+            program_factory=lambda v: LateWide(),
+            max_message_words=3,
+            strict=True,
+        )
+        with pytest.raises(ProtocolError):
+            net.run(5)
+        # Round 1's single clean message remains the whole ledger.
+        assert net.stats.messages == 1
+        assert net.stats.total_words == 1
+
+
+class TestConstruction:
+    def test_rejects_programs_for_unknown_vertices(self):
+        g = path(3)
+        programs = {v: Echo(v) for v in g.vertices()}
+        programs[99] = Echo(99)
+        with pytest.raises(ValueError, match="not in the graph"):
+            Network(g, programs=programs)
+
+
+class TestMultiPhaseRuns:
+    def test_in_flight_messages_survive_across_run_calls(self):
+        g = path(5)
+        programs = {v: Forwarder(v) for v in g.vertices()}
+        net = Network(g, programs=programs)
+        net.run(1)
+        # The token is mid-path: the run() boundary must not drop it.
+        assert net.in_flight
+        net.run(1)
+        assert programs[1].received_at == 1
+        assert net.in_flight
+        net.run(10)
+        assert programs[4].received_at == 4
+        assert not net.in_flight
+
+    def test_stop_when_idle_delivers_setup_outbox_first(self):
+        # Setup sends are in flight before round 1: idle detection must
+        # run the round that delivers them rather than stopping at zero.
+        g = path(3)
+        programs = {v: Echo(v) for v in g.vertices()}
+        net = Network(g, programs=programs)
+        stats = net.run(100, stop_when_idle=True)
+        assert stats.rounds >= 1
+        assert (0, 0) in programs[1].heard
+
+    def test_stop_when_idle_resumes_after_reconfiguration(self):
+        class TwoPhase(NodeProgram):
+            def __init__(self, node_id):
+                self.node_id = node_id
+                self.heard = []
+                self.phase = 0
+
+            def begin_phase(self):
+                self.phase += 1
+                self.kicked = False
+
+            def on_round(self, api, round_index, inbox):
+                self.heard.extend((self.phase, s, p) for s, p in inbox)
+                if self.phase == 1 and self.node_id == 0 and not self.kicked:
+                    self.kicked = True
+                    api.broadcast("go")
+
+        g = path(3)
+        programs = {v: TwoPhase(v) for v in g.vertices()}
+        net = Network(g, programs=programs)
+        net.run(50, stop_when_idle=True)  # phase 0: no traffic at all
+        first = net.stats.rounds
+        for p in programs.values():
+            p.begin_phase()
+        net.run(50, stop_when_idle=True)  # phase 1: one broadcast
+        assert net.stats.rounds > first
+        assert any(ph == 1 and s == 0 for ph, s, _ in programs[1].heard)
