@@ -18,14 +18,8 @@ Shape checks (who wins on which axis):
 from __future__ import annotations
 
 from repro.analysis.tables import format_table
-from repro.baselines import (
-    additive2_spanner,
-    baswana_sen_spanner,
-    bfs_forest,
-    girth_skeleton,
-)
+from repro.baselines import additive2_spanner, bfs_forest, girth_skeleton
 from repro.baselines.girth_skeleton import required_neighborhood_radius
-from repro.core import build_fibonacci_spanner, build_skeleton
 from repro.distributed import (
     distributed_baswana_sen,
     distributed_fibonacci_spanner,

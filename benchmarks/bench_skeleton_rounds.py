@@ -9,7 +9,6 @@ budget); the width cap of O(log^eps n) words is never violated.
 
 from __future__ import annotations
 
-import math
 
 from repro.analysis.tables import format_table
 from repro.distributed import distributed_skeleton

@@ -1,23 +1,49 @@
-"""CLI: `python -m repro` — run the Fig. 1 comparison on a demo graph.
+"""CLI: `python -m repro` — Fig. 1 comparison and trace tooling.
 
-Options:
+Legacy report (unchanged interface)::
+
     python -m repro [n] [p] [seed]
 
-Builds an Erdős–Rényi host with the given parameters (defaults
-n=400, p=0.08, seed=2008) and prints the measured comparison table of
-every implemented spanner construction.
+builds an Erdős–Rényi host with the given parameters (defaults n=400,
+p=0.08, seed=2008) and prints the measured Fig. 1 comparison table.
+
+Trace tooling (see ``docs/observability.md``)::
+
+    python -m repro trace record OUT [--protocol P] [--n N] [--p P]
+                                     [--seed S] [--reliable]
+                                     [--drop-rate R] [--fault-seed S]
+    python -m repro trace summary FILE
+    python -m repro trace diff A B
+    python -m repro trace filter FILE [--kind K] [--round R]
+                                      [--node V] [--src V] [--dst V]
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+from typing import List, Optional
 
-from repro.analysis.report import fig1_report, render_fig1
-from repro.graphs import erdos_renyi_gnp
+from repro.obs import (
+    MetricsRegistry,
+    Obs,
+    PhaseProfiler,
+    PROTOCOLS,
+    TraceRecorder,
+    dumps_events,
+    filter_events,
+    first_divergence,
+    load_events,
+    run_traced,
+    summarize,
+)
 
 
-def main(argv=None) -> int:
-    argv = list(sys.argv[1:] if argv is None else argv)
+def _fig1(argv: List[str]) -> int:
+    """The original `python -m repro [n] [p] [seed]` report."""
+    from repro.analysis.report import fig1_report, render_fig1
+    from repro.graphs import erdos_renyi_gnp
+
     n = int(argv[0]) if len(argv) > 0 else 400
     p = float(argv[1]) if len(argv) > 1 else 0.08
     seed = int(argv[2]) if len(argv) > 2 else 2008
@@ -31,6 +57,138 @@ def main(argv=None) -> int:
         "`pytest benchmarks/ --benchmark-only` for every paper artifact."
     )
     return 0
+
+
+def _trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Record, summarize, diff and filter simulator traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser(
+        "record", help="run one protocol traced and write a JSONL trace"
+    )
+    record.add_argument("out", help="output JSONL path ('-' for stdout)")
+    record.add_argument(
+        "--protocol", choices=PROTOCOLS, default="skeleton"
+    )
+    record.add_argument("--n", type=int, default=120,
+                        help="Erdős–Rényi host size (default 120)")
+    record.add_argument("--p", type=float, default=0.08,
+                        help="Erdős–Rényi edge probability (default 0.08)")
+    record.add_argument("--seed", type=int, default=2008,
+                        help="graph + protocol seed (default 2008)")
+    record.add_argument("--reliable", action="store_true",
+                        help="run under the reliable-delivery adapter")
+    record.add_argument("--drop-rate", type=float, default=0.0,
+                        help="FaultPlan drop rate (enables fault injection)")
+    record.add_argument("--fault-seed", type=int, default=1,
+                        help="FaultPlan seed (default 1)")
+    record.add_argument("--metrics", action="store_true",
+                        help="print the metrics registry after the run")
+    record.add_argument("--profile", action="store_true",
+                        help="print per-phase wall-clock attribution")
+
+    summary = sub.add_parser("summary", help="print totals and the "
+                             "per-phase breakdown of a trace")
+    summary.add_argument("file", help="JSONL trace ('-' for stdin)")
+
+    diff = sub.add_parser("diff", help="report the first divergent "
+                          "(round, edge, event) of two traces")
+    diff.add_argument("a", help="first JSONL trace")
+    diff.add_argument("b", help="second JSONL trace")
+
+    filt = sub.add_parser("filter", help="select events by type, round "
+                          "or participating node")
+    filt.add_argument("file", help="JSONL trace ('-' for stdin)")
+    filt.add_argument("--kind", help="event type (send, fault, ...)")
+    filt.add_argument("--round", type=int, dest="round_no")
+    filt.add_argument("--node", type=int,
+                      help="matches src, dst or node fields")
+    filt.add_argument("--src", type=int)
+    filt.add_argument("--dst", type=int)
+    return parser
+
+
+def _load(path: str):
+    return load_events(sys.stdin if path == "-" else path)
+
+
+def _trace_record(args: argparse.Namespace) -> int:
+    from repro.distributed import FaultPlan
+    from repro.graphs import erdos_renyi_gnp
+
+    graph = erdos_renyi_gnp(args.n, args.p, seed=args.seed)
+    recorder = TraceRecorder()
+    obs = Obs(
+        recorder=recorder,
+        metrics=MetricsRegistry() if args.metrics else None,
+        profiler=PhaseProfiler() if args.profile else None,
+    )
+    fault_plan = (
+        FaultPlan(seed=args.fault_seed, drop_rate=args.drop_rate)
+        if args.drop_rate > 0
+        else None
+    )
+    run_traced(
+        args.protocol,
+        graph,
+        seed=args.seed,
+        obs=obs,
+        reliable=args.reliable,
+        fault_plan=fault_plan,
+    )
+    if args.out == "-":
+        sys.stdout.write(recorder.dumps())
+    else:
+        recorder.dump(args.out)
+        print(
+            f"{args.protocol} on G(n={args.n}, p={args.p}) seed={args.seed}:"
+            f" {len(recorder)} events -> {args.out}"
+        )
+    if obs.metrics is not None:
+        print()
+        print(obs.metrics.render())
+    if obs.profiler is not None:
+        print()
+        print(obs.profiler.render())
+    return 0
+
+
+def _trace_main(argv: List[str]) -> int:
+    args = _trace_parser().parse_args(argv)
+    if args.command == "record":
+        return _trace_record(args)
+    if args.command == "summary":
+        print(summarize(_load(args.file)).render())
+        return 0
+    if args.command == "diff":
+        divergence = first_divergence(_load(args.a), _load(args.b))
+        if divergence is None:
+            print("traces are identical")
+            return 0
+        print(divergence.render())
+        return 1
+    if args.command == "filter":
+        events = filter_events(
+            _load(args.file),
+            kind=args.kind,
+            round_no=args.round_no,
+            node=args.node,
+            src=args.src,
+            dst=args.dst,
+        )
+        sys.stdout.write(dumps_events(events))
+        return 0
+    raise AssertionError(args.command)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
+    return _fig1(argv)
 
 
 if __name__ == "__main__":

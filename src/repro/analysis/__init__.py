@@ -23,6 +23,11 @@ from repro.analysis.xtp import (
     x_tp_closed_form,
 )
 from repro.analysis.tables import format_table
+from repro.analysis.report import (
+    PhaseBudgetRow,
+    phase_budget_report,
+    render_phase_budget,
+)
 
 __all__ = [
     "GAMMA",
@@ -44,4 +49,7 @@ __all__ = [
     "x_tp",
     "x_tp_closed_form",
     "format_table",
+    "PhaseBudgetRow",
+    "phase_budget_report",
+    "render_phase_budget",
 ]

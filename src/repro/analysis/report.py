@@ -3,12 +3,17 @@
 ``fig1_report(graph)`` runs every implemented construction on one host
 and returns the measured comparison rows — the same data bench E1
 renders, packaged for library users (and the ``python -m repro`` CLI).
+
+``phase_budget_report(events)`` turns a recorded trace (see
+:mod:`repro.obs`) into the per-phase round/message accounting the
+paper's theorems are stated at, annotated with each phase's analytic
+round budget.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Any, Dict, Iterable, List
 
 from repro.analysis.tables import format_table
 from repro.graphs.graph import Graph
@@ -136,6 +141,100 @@ def render_fig1(rows: List[AlgorithmRow], title: str = "") -> str:
     return format_table(
         ["algorithm", "size", "size/n", "max stretch", "mean stretch",
          "rounds", "max msg words"],
+        [r.as_tuple() for r in rows],
+        title=title,
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-phase round budgets (from traces)
+# ----------------------------------------------------------------------
+
+#: analytic per-call round budget of each (protocol, phase family); the
+#: ``[i]`` index of repeated phases is stripped before lookup.  These
+#: are the bounds the theorems charge each phase with — the report puts
+#: the measured rounds next to them.
+PHASE_ROUND_BUDGETS: Dict[Any, str] = {
+    ("skeleton", "exchange"): "2",
+    ("skeleton", "converge"): "r_i + pipe + 2",
+    ("skeleton", "decide"): "r_i + pipe + 2",
+    ("skeleton", "contract"): "2",
+    ("baswana_sen", "phase"): "2",
+    ("baswana_sen_weighted", "phase"): "2",
+    ("additive", "exchange"): "3",
+    ("additive", "trees"): "O(diam + |D|/W)",
+    ("fibonacci", "forest"): "ell^(i-1)",
+    ("fibonacci", "cutoff"): "ell^i + 1",
+    ("fibonacci", "ball"): "ell^i",
+    ("fibonacci", "detect"): "ell^i",
+    ("fibonacci", "fallback"): "ell^i",
+    ("fibonacci", "retrace"): "ell^i",
+    ("survey", "survey"): "r",
+}
+
+
+@dataclass
+class PhaseBudgetRow:
+    """Measured cost of one (protocol, phase) next to its analytic budget."""
+
+    protocol: str
+    phase: str
+    calls: int
+    rounds: int
+    messages: int
+    words: int
+    round_share: float
+    budget: str
+
+    def as_tuple(self):
+        return (
+            self.protocol, self.phase, self.calls, self.rounds,
+            self.messages, self.words, f"{100 * self.round_share:.1f}%",
+            self.budget,
+        )
+
+
+def _phase_family(name: str) -> str:
+    return name.split("[", 1)[0]
+
+
+def phase_budget_report(
+    events: Iterable[Dict[str, Any]],
+) -> List[PhaseBudgetRow]:
+    """Per-phase accounting of a recorded trace.
+
+    ``events`` is a trace event list (from
+    :class:`repro.obs.TraceRecorder` or :func:`repro.obs.load_events`);
+    returns one row per (protocol, phase) with the measured
+    rounds/messages/words, the phase's share of all measured rounds and
+    its analytic per-call round budget from :data:`PHASE_ROUND_BUDGETS`.
+    """
+    from repro.obs.replay import summarize
+
+    summary = summarize(events)
+    total_rounds = max(1, sum(p.rounds for p in summary.phases))
+    return [
+        PhaseBudgetRow(
+            protocol=p.protocol,
+            phase=p.phase,
+            calls=p.calls,
+            rounds=p.rounds,
+            messages=p.messages,
+            words=p.words,
+            round_share=p.rounds / total_rounds,
+            budget=PHASE_ROUND_BUDGETS.get(
+                (p.protocol, _phase_family(p.phase)), "-"
+            ),
+        )
+        for p in summary.phases
+    ]
+
+
+def render_phase_budget(rows: List[PhaseBudgetRow], title: str = "") -> str:
+    """Render :func:`phase_budget_report` rows as an ASCII table."""
+    return format_table(
+        ["protocol", "phase", "calls", "rounds", "msgs", "words",
+         "share", "budget/call"],
         [r.as_tuple() for r in rows],
         title=title,
     )

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Set
 
-from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.graphs.graph import Edge, canonical_edge
 from repro.graphs.lower_bound import LowerBoundGraph
 from repro.graphs.properties import bfs_distances
 from repro.spanner.spanner import Spanner

@@ -26,8 +26,9 @@ from typing import Dict, Optional, Set
 from repro.distributed.faults import FaultPlan
 from repro.distributed.primitives import pipelined_broadcast_protocol
 from repro.distributed.reliable import ReliableConfig, build_network
-from repro.distributed.simulator import Api, Network, NodeProgram
+from repro.distributed.simulator import Api, NodeProgram
 from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.obs.trace import Obs, phase_scope
 from repro.spanner.spanner import Spanner
 from repro.util.rng import SeedLike, make_prf
 
@@ -78,6 +79,7 @@ def distributed_additive2(
     fault_plan: Optional[FaultPlan] = None,
     reliable: bool = False,
     reliable_config: Optional[ReliableConfig] = None,
+    obs: Optional[Obs] = None,
 ) -> Spanner:
     """Build an additive 2-spanner by message passing.
 
@@ -91,6 +93,8 @@ def distributed_additive2(
     if n == 0:
         return Spanner(graph, set(),
                        {"algorithm": "additive-2-distributed"})
+    if obs is not None and not obs.protocol:
+        obs.protocol = "additive"
     if threshold is None:
         threshold = max(1, math.ceil(math.sqrt(n * max(1.0, math.log(n)))))
     prf = make_prf(seed)
@@ -106,15 +110,17 @@ def distributed_additive2(
         )
         for v in graph.vertices()
     }
-    network = build_network(
-        graph,
-        programs,
-        max_message_words=max_message_words,
-        fault_plan=fault_plan,
-        reliable=reliable,
-        reliable_config=reliable_config,
-    )
-    exchange_stats = network.run(max_rounds=4)
+    with phase_scope(obs, "exchange"):
+        network = build_network(
+            graph,
+            programs,
+            max_message_words=max_message_words,
+            fault_plan=fault_plan,
+            reliable=reliable,
+            reliable_config=reliable_config,
+            obs=obs,
+        )
+        exchange_stats = network.run(max_rounds=4)
     for v, prog in programs.items():
         if prog.drafted:
             dominators.add(v)
@@ -140,6 +146,8 @@ def distributed_additive2(
         fault_plan=fault_plan,
         reliable=reliable,
         reliable_config=reliable_config,
+        obs=obs,
+        phase="trees",
     )
     for v, sources in known.items():
         for s, (_, parent) in sources.items():

@@ -35,6 +35,7 @@ from repro.distributed.primitives import (
 from repro.distributed.reliable import ReliableConfig
 from repro.distributed.simulator import NetworkStats
 from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.obs.trace import Obs
 from repro.graphs.properties import bfs_distances
 from repro.spanner.spanner import Spanner
 from repro.util.rng import SeedLike
@@ -85,6 +86,7 @@ def distributed_fibonacci_spanner(
     fault_plan: Optional[FaultPlan] = None,
     reliable: bool = False,
     reliable_config: Optional[ReliableConfig] = None,
+    obs: Optional[Obs] = None,
 ) -> Spanner:
     """Build a Fibonacci spanner by message passing (Theorem 8).
 
@@ -101,10 +103,13 @@ def distributed_fibonacci_spanner(
     per-round decisions restart with each phase's round counter).
     """
     n = graph.n
+    if obs is not None and not obs.protocol:
+        obs.protocol = "fibonacci"
     net_kwargs = {
         "fault_plan": fault_plan,
         "reliable": reliable,
         "reliable_config": reliable_config,
+        "obs": obs,
     }
     params = FibonacciParams.resolve(n, order=order, eps=eps, ell=ell)
     cap = max_message_words
@@ -127,7 +132,8 @@ def distributed_fibonacci_spanner(
     for i in range(1, o + 1):
         radius = int(ell_val ** (i - 1))
         dist, _, parent, stats = bounded_bfs_protocol(
-            graph, levels[i], radius, max_message_words=cap, **net_kwargs
+            graph, levels[i], radius, max_message_words=cap,
+            phase=f"forest[{i}]", **net_kwargs
         )
         phase_stats.append((f"forest[{i}]", stats))
         for v, d in dist.items():
@@ -146,14 +152,15 @@ def distributed_fibonacci_spanner(
         if i < o and levels[i + 1]:
             dist_next, _, _, stats = bounded_bfs_protocol(
                 graph, levels[i + 1], radius + 1, max_message_words=cap,
-                **net_kwargs
+                phase=f"cutoff[{i}]", **net_kwargs
             )
             phase_stats.append((f"cutoff[{i}]", stats))
         else:
             dist_next = {}
 
         known, ceased, stats = ball_broadcast_protocol(
-            graph, targets, radius, max_message_words=cap, **net_kwargs
+            graph, targets, radius, max_message_words=cap,
+            phase=f"ball[{i}]", **net_kwargs
         )
         phase_stats.append((f"ball[{i}]", stats))
 
@@ -162,7 +169,7 @@ def distributed_fibonacci_spanner(
         if ceased and failure_detection:
             known_ceased, _, stats = ball_broadcast_protocol(
                 graph, ceased.keys(), radius, max_message_words=None,
-                **net_kwargs
+                phase=f"detect[{i}]", **net_kwargs
             )
             phase_stats.append((f"detect[{i}]", stats))
             for x in sorted(collectors):
@@ -176,7 +183,8 @@ def distributed_fibonacci_spanner(
             # include all adjacent edges; the command broadcast costs one
             # more ball-broadcast phase.
             _, _, stats = ball_broadcast_protocol(
-                graph, failed, radius, max_message_words=None, **net_kwargs
+                graph, failed, radius, max_message_words=None,
+                phase=f"fallback[{i}]", **net_kwargs
             )
             phase_stats.append((f"fallback[{i}]", stats))
             fallback_commands += len(failed)
@@ -204,7 +212,7 @@ def distributed_fibonacci_spanner(
         }
         path_edges, stats = path_retrace_protocol(
             graph, parent_maps, requests, radius, max_message_words=cap,
-            **net_kwargs
+            phase=f"retrace[{i}]", **net_kwargs
         )
         phase_stats.append((f"retrace[{i}]", stats))
         edges |= path_edges

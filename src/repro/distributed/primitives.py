@@ -28,8 +28,9 @@ from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.distributed.faults import FaultPlan
 from repro.distributed.reliable import ReliableConfig, build_network
-from repro.distributed.simulator import Api, Network, NetworkStats, NodeProgram
+from repro.distributed.simulator import Api, NetworkStats, NodeProgram
 from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.obs.trace import Obs, phase_scope
 
 
 class _BfsProgram(NodeProgram):
@@ -70,25 +71,31 @@ def bounded_bfs_protocol(
     fault_plan: Optional[FaultPlan] = None,
     reliable: bool = False,
     reliable_config: Optional[ReliableConfig] = None,
+    obs: Optional[Obs] = None,
+    phase: str = "bfs",
 ) -> Tuple[Dict[int, int], Dict[int, int], Dict[int, Optional[int]], NetworkStats]:
     """Distributed multi-source BFS truncated at ``radius`` hops.
 
     Returns ``(dist, root, parent, stats)`` over the vertices that heard a
     source within the budget.  Unit-length messages (1 word each).
+    ``obs``/``phase`` attach observability (the run is traced under the
+    given phase label).
     """
     source_set = set(sources)
     programs = {
         v: _BfsProgram(v, v in source_set) for v in graph.vertices()
     }
-    network = build_network(
-        graph,
-        programs,
-        max_message_words=max_message_words,
-        fault_plan=fault_plan,
-        reliable=reliable,
-        reliable_config=reliable_config,
-    )
-    stats = network.run(max_rounds=radius)
+    with phase_scope(obs, phase):
+        network = build_network(
+            graph,
+            programs,
+            max_message_words=max_message_words,
+            fault_plan=fault_plan,
+            reliable=reliable,
+            reliable_config=reliable_config,
+            obs=obs,
+        )
+        stats = network.run(max_rounds=radius)
     dist = {v: p.dist for v, p in programs.items() if p.dist is not None}
     root = {v: p.root for v, p in programs.items() if p.dist is not None}
     parent = {v: p.parent for v, p in programs.items() if p.dist is not None}
@@ -158,6 +165,8 @@ def ball_broadcast_protocol(
     fault_plan: Optional[FaultPlan] = None,
     reliable: bool = False,
     reliable_config: Optional[ReliableConfig] = None,
+    obs: Optional[Obs] = None,
+    phase: str = "ball",
 ) -> Tuple[
     Dict[int, Dict[int, Tuple[int, Optional[int]]]],
     Dict[int, int],
@@ -174,15 +183,17 @@ def ball_broadcast_protocol(
         v: _BallProgram(v, v in source_set, max_message_words)
         for v in graph.vertices()
     }
-    network = build_network(
-        graph,
-        programs,
-        max_message_words=max_message_words,
-        fault_plan=fault_plan,
-        reliable=reliable,
-        reliable_config=reliable_config,
-    )
-    stats = network.run(max_rounds=radius)
+    with phase_scope(obs, phase):
+        network = build_network(
+            graph,
+            programs,
+            max_message_words=max_message_words,
+            fault_plan=fault_plan,
+            reliable=reliable,
+            reliable_config=reliable_config,
+            obs=obs,
+        )
+        stats = network.run(max_rounds=radius)
     known = {v: dict(p.known) for v, p in programs.items()}
     ceased = {
         v: p.ceased_at for v, p in programs.items() if p.ceased_at is not None
@@ -255,6 +266,8 @@ def pipelined_broadcast_protocol(
     fault_plan: Optional[FaultPlan] = None,
     reliable: bool = False,
     reliable_config: Optional[ReliableConfig] = None,
+    obs: Optional[Obs] = None,
+    phase: str = "pipelined",
 ) -> Tuple[
     Dict[int, Dict[int, Tuple[int, Optional[int]]]],
     NetworkStats,
@@ -272,15 +285,17 @@ def pipelined_broadcast_protocol(
         )
         for v in graph.vertices()
     }
-    network = build_network(
-        graph,
-        programs,
-        max_message_words=max_message_words,
-        fault_plan=fault_plan,
-        reliable=reliable,
-        reliable_config=reliable_config,
-    )
-    stats = network.run(max_rounds=max_rounds, stop_when_idle=True)
+    with phase_scope(obs, phase):
+        network = build_network(
+            graph,
+            programs,
+            max_message_words=max_message_words,
+            fault_plan=fault_plan,
+            reliable=reliable,
+            reliable_config=reliable_config,
+            obs=obs,
+        )
+        stats = network.run(max_rounds=max_rounds, stop_when_idle=True)
     known = {v: dict(p.known) for v, p in programs.items()}
     return known, stats
 
@@ -333,6 +348,8 @@ def path_retrace_protocol(
     fault_plan: Optional[FaultPlan] = None,
     reliable: bool = False,
     reliable_config: Optional[ReliableConfig] = None,
+    obs: Optional[Obs] = None,
+    phase: str = "retrace",
 ) -> Tuple[Set[Edge], NetworkStats]:
     """Add shortest paths P(x, u) for every request ``u in requests[x]``.
 
@@ -346,15 +363,17 @@ def path_retrace_protocol(
         )
         for v in graph.vertices()
     }
-    network = build_network(
-        graph,
-        programs,
-        max_message_words=max_message_words,
-        fault_plan=fault_plan,
-        reliable=reliable,
-        reliable_config=reliable_config,
-    )
-    stats = network.run(max_rounds=radius)
+    with phase_scope(obs, phase):
+        network = build_network(
+            graph,
+            programs,
+            max_message_words=max_message_words,
+            fault_plan=fault_plan,
+            reliable=reliable,
+            reliable_config=reliable_config,
+            obs=obs,
+        )
+        stats = network.run(max_rounds=radius)
     edges: Set[Edge] = set()
     for p in programs.values():
         edges |= p.edges_added

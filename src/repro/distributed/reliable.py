@@ -273,7 +273,8 @@ class ReliableProgram(NodeProgram):
     # ------------------------------------------------------------------
     def _retransmit(self, api: Api) -> None:
         cfg = self.cfg
-        stats = api._network.stats
+        network = api._network
+        stats = network.stats
         for key in sorted(self.unacked):
             entry = self.unacked.get(key)
             if entry is None:
@@ -283,10 +284,14 @@ class ReliableProgram(NodeProgram):
                 continue
             dst = key[0]
             if tries >= cfg.max_tries:
-                self._mark_dead(dst, stats)
+                self._mark_dead(api, dst)
                 continue
             api.send(dst, msg)
             stats.retransmissions += 1
+            if network.obs is not None:
+                network.obs.on_retransmit(
+                    self._real_round, api.node_id, dst
+                )
             entry[2] = tries + 1
             entry[1] = self._real_round + max(
                 1, int(cfg.rto * cfg.backoff ** (tries + 1))
@@ -304,7 +309,8 @@ class ReliableProgram(NodeProgram):
         if self.inner_halted or self.vround >= self.target:
             return
         cfg = self.cfg
-        stats = api._network.stats
+        network = api._network
+        stats = network.stats
         for u, since in sorted(self.blocked_since.items()):
             if u in self.dead:
                 continue
@@ -317,14 +323,17 @@ class ReliableProgram(NodeProgram):
                 continue
             self._transmit(u, t, msg)
             stats.retransmissions += 1
+            if network.obs is not None:
+                network.obs.on_retransmit(self._real_round, api.node_id, u)
             self.blocked_since[u] = self._real_round
 
-    def _mark_dead(self, dst: int, stats: NetworkStats) -> None:
+    def _mark_dead(self, api: Api, dst: int) -> None:
         if dst in self.dead:
             return
         self.dead.add(dst)
-        stats.dead_links += 1
-        stats.record_fault(
+        network = api._network
+        network.stats.dead_links += 1
+        network._record_fault(
             FaultEvent(LINK_DEAD, self._real_round,
                        src=self._shim.node_id, dst=dst)
         )
@@ -372,6 +381,7 @@ class ReliableNetwork:
         max_message_words: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
         config: Optional[ReliableConfig] = None,
+        obs: Optional[Any] = None,
     ) -> None:
         self.graph = graph
         self.config = config or ReliableConfig()
@@ -386,7 +396,10 @@ class ReliableNetwork:
             programs=self.wrappers,
             max_message_words=max_message_words,
             fault_plan=fault_plan,
+            obs=obs,
+            reliable_layer=True,
         )
+        self.obs = obs
         self.stats = self.network.stats
         self._virtual_target = 0
 
@@ -519,6 +532,7 @@ def build_network(
     fault_plan: Optional[FaultPlan] = None,
     reliable: bool = False,
     reliable_config: Optional[ReliableConfig] = None,
+    obs: Optional[Any] = None,
 ):
     """One-stop network construction for protocol entry points.
 
@@ -535,6 +549,7 @@ def build_network(
             max_message_words=max_message_words,
             fault_plan=fault_plan,
             config=reliable_config,
+            obs=obs,
         )
     return Network(
         graph,
@@ -542,4 +557,5 @@ def build_network(
         max_message_words=max_message_words,
         strict=strict,
         fault_plan=fault_plan,
+        obs=obs,
     )

@@ -61,6 +61,9 @@ class NetworkStats:
     dead_links: int = 0
     #: injected events, in order (truncated at the plan's log limit).
     fault_events: List[FaultEvent] = field(default_factory=list)
+    #: events the bounded log refused (counters above stay exact; attach
+    #: a :class:`repro.obs.trace.TraceRecorder` for full event fidelity).
+    fault_events_dropped: int = 0
 
     def observe(self, words: int) -> None:
         self.messages += 1
@@ -71,9 +74,15 @@ class NetworkStats:
             self.violations += 1
 
     def record_fault(self, event: FaultEvent, limit: int = 256) -> None:
-        """Append to the event log unless the log is already full."""
+        """Append to the event log, or count the drop once it is full.
+
+        The in-memory log is bounded so unbounded chaos runs cannot grow
+        memory without limit; ``fault_events_dropped`` says how much of
+        the history is missing."""
         if len(self.fault_events) < limit:
             self.fault_events.append(event)
+        else:
+            self.fault_events_dropped += 1
 
     @property
     def faults_injected(self) -> int:
@@ -83,6 +92,8 @@ class NetworkStats:
     def merged_with(self, other: "NetworkStats") -> "NetworkStats":
         """Combine stats from sequential protocol phases."""
         caps = [c for c in (self.cap, other.cap) if c is not None]
+        merged_events = self.fault_events + other.fault_events
+        overflow = max(0, len(merged_events) - 512)
         return NetworkStats(
             rounds=self.rounds + other.rounds,
             messages=self.messages + other.messages,
@@ -98,7 +109,12 @@ class NetworkStats:
             reordered=self.reordered + other.reordered,
             retransmissions=self.retransmissions + other.retransmissions,
             dead_links=self.dead_links + other.dead_links,
-            fault_events=(self.fault_events + other.fault_events)[:512],
+            fault_events=merged_events[:512],
+            fault_events_dropped=(
+                self.fault_events_dropped
+                + other.fault_events_dropped
+                + overflow
+            ),
         )
 
     def __str__(self) -> str:
@@ -157,7 +173,11 @@ class Api:
 
     def halt(self) -> None:
         """Stop participating; the node receives no further rounds."""
-        self._halted = True
+        if not self._halted:
+            self._halted = True
+            obs = self._network.obs
+            if obs is not None:
+                obs.on_halt(self._network.stats.rounds, self.node_id)
 
 
 class NodeProgram:
@@ -188,6 +208,8 @@ class Network:
         max_message_words: Optional[int] = None,
         strict: bool = False,
         fault_plan: Optional[FaultPlan] = None,
+        obs: Optional[Any] = None,
+        reliable_layer: bool = False,
     ) -> None:
         if (programs is None) == (program_factory is None):
             raise ValueError(
@@ -209,6 +231,17 @@ class Network:
         self.strict = strict
         self.fault_plan = fault_plan
         self.stats = NetworkStats(cap=max_message_words)
+        #: observability bundle (:class:`repro.obs.trace.Obs`) or None.
+        #: Every hot-path hook hides behind one ``is not None`` check so
+        #: an unobserved run pays nothing (benchmark E21).
+        self.obs = obs
+        #: whether this network carries a reliable-delivery layer on
+        #: top (recorded in traces; set by ``ReliableNetwork``).
+        self.reliable_layer = reliable_layer
+        #: bound on the in-memory fault event log of ``stats``.
+        self.fault_log_limit = (
+            fault_plan.max_logged_events if fault_plan is not None else 256
+        )
         self._apis = {v: Api(self, v) for v in graph.vertices()}
         self._sorted_nbrs: Dict[int, List[int]] = {}
         #: messages in flight: dst -> list of (src, payload).
@@ -216,6 +249,14 @@ class Network:
         #: fault-delayed messages: delivery round -> [(dst, src, payload)].
         self._delayed: Dict[int, List[Tuple[int, int, Any]]] = {}
         self._setup_done = False
+        if obs is not None:
+            obs.on_network(self)
+
+    def _record_fault(self, event: FaultEvent) -> None:
+        """Fault accounting chokepoint: bounded in-memory log + trace."""
+        self.stats.record_fault(event, self.fault_log_limit)
+        if self.obs is not None:
+            self.obs.on_fault(event)
 
     def sorted_neighbors(self, v: int) -> List[int]:
         if v not in self._sorted_nbrs:
@@ -260,8 +301,12 @@ class Network:
                     )
                 staged.append((v, dst, payloads, words))
         next_pending: Dict[int, List[Tuple[int, Any]]] = {}
+        obs = self.obs
+        send_round = self.stats.rounds
         for v, dst, payloads, words in staged:
             self.stats.observe(words)
+            if obs is not None:
+                obs.on_send(send_round, v, dst, words, payloads)
             bucket = next_pending.setdefault(dst, [])
             for payload in payloads:
                 bucket.append((v, payload))
@@ -275,18 +320,16 @@ class Network:
         """Consult the fault plan for every delivery due this round."""
         plan = self.fault_plan
         stats = self.stats
-        limit = plan.max_logged_events
         for event in plan.transitions(round_no):
-            stats.record_fault(event, limit)
+            self._record_fault(event)
         delivered: Dict[int, List[Tuple[int, Any]]] = {}
         for dst in sorted(pending):
             msgs = pending[dst]
             if plan.is_crashed(dst, round_no):
                 stats.dropped += len(msgs)
-                stats.record_fault(
+                self._record_fault(
                     FaultEvent(CRASH_DROP, round_no, dst=dst,
-                               info=len(msgs)),
-                    limit,
+                               info=len(msgs))
                 )
                 continue
             bucket: List[Tuple[int, Any]] = []
@@ -294,21 +337,18 @@ class Network:
                 kind, info = plan.decide(round_no, src, dst, slot)
                 if kind == DROP:
                     stats.dropped += 1
-                    stats.record_fault(
-                        FaultEvent(DROP, round_no, src, dst), limit
-                    )
+                    self._record_fault(FaultEvent(DROP, round_no, src, dst))
                 elif kind == DUPLICATE:
                     stats.duplicated += 1
-                    stats.record_fault(
-                        FaultEvent(DUPLICATE, round_no, src, dst), limit
+                    self._record_fault(
+                        FaultEvent(DUPLICATE, round_no, src, dst)
                     )
                     bucket.append((src, payload))
                     bucket.append((src, payload))
                 elif kind == DELAY:
                     stats.delayed += 1
-                    stats.record_fault(
-                        FaultEvent(DELAY, round_no, src, dst, info=info),
-                        limit,
+                    self._record_fault(
+                        FaultEvent(DELAY, round_no, src, dst, info=info)
                     )
                     self._delayed.setdefault(round_no + info, []).append(
                         (dst, src, payload)
@@ -322,8 +362,8 @@ class Network:
         for dst, src, payload in self._delayed.pop(round_no, ()):
             if plan.is_crashed(dst, round_no):
                 stats.dropped += 1
-                stats.record_fault(
-                    FaultEvent(CRASH_DROP, round_no, src, dst), limit
+                self._record_fault(
+                    FaultEvent(CRASH_DROP, round_no, src, dst)
                 )
                 continue
             delivered.setdefault(dst, []).append((src, payload))
@@ -354,6 +394,8 @@ class Network:
                 break
             self.stats.rounds += 1
             round_no = self.stats.rounds
+            if self.obs is not None:
+                self.obs.on_round(round_no)
             pending, self._pending = self._pending, {}
             if plan is not None:
                 pending = self._apply_faults(round_no, pending)
@@ -371,10 +413,9 @@ class Network:
                     if perm is not None:
                         inbox = [inbox[i] for i in perm]
                         self.stats.reordered += 1
-                        self.stats.record_fault(
+                        self._record_fault(
                             FaultEvent(REORDER, round_no, dst=v,
-                                       info=len(inbox)),
-                            plan.max_logged_events,
+                                       info=len(inbox))
                         )
                 self.programs[v].on_round(api, round_no, inbox)
             self._collect_outboxes()

@@ -43,8 +43,9 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from repro.core.schedule import Round, build_schedule, exact_form_schedule
 from repro.distributed.faults import FaultPlan
 from repro.distributed.reliable import ReliableConfig, build_network
-from repro.distributed.simulator import Api, Network, NetworkStats, NodeProgram
+from repro.distributed.simulator import Api, NodeProgram
 from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.obs.trace import Obs, phase_scope
 from repro.spanner.spanner import Spanner
 from repro.util.rng import SeedLike, make_prf
 
@@ -360,6 +361,7 @@ def distributed_skeleton(
     fault_plan: Optional[FaultPlan] = None,
     reliable: bool = False,
     reliable_config: Optional[ReliableConfig] = None,
+    obs: Optional[Obs] = None,
 ) -> Spanner:
     """Run the Theorem 2 protocol on ``graph``.
 
@@ -376,6 +378,8 @@ def distributed_skeleton(
     runs every program under the reliable-delivery adapter (sequence
     numbers, acks, retransmission), which preserves the fault-free
     execution exactly under drop/duplicate/delay/reorder plans.
+    ``obs`` attaches observability: each exchange/converge/decide/
+    contract phase is marked in the trace and metered per phase.
     """
     n = graph.n
     prf = make_prf(seed)
@@ -392,6 +396,8 @@ def distributed_skeleton(
         cap = 4 * max(3, math.ceil(math.log2(max(4, n)) ** eps))
     cap_entries = max(1, (cap - 6) // 3)
 
+    if obs is not None and not obs.protocol:
+        obs.protocol = "skeleton"
     programs = {v: _SkeletonProgram(v) for v in graph.vertices()}
     network = build_network(
         graph,
@@ -400,19 +406,22 @@ def distributed_skeleton(
         fault_plan=fault_plan,
         reliable=reliable,
         reliable_config=reliable_config,
+        obs=obs,
     )
     log_n = math.log(max(2, n))
 
     def run_phase(name: str, budget: int, **config: Any) -> int:
-        for program in programs.values():
-            program.begin_phase(name, **config)
-        before = network.stats.rounds
-        network.run(max_rounds=budget, stop_when_idle=True)
-        # Drain any messages still in flight (the synchronous schedule
-        # would have waited the full budget; we stop once quiet).
-        while network.in_flight:
-            network.run(max_rounds=1)
-        return network.stats.rounds - before
+        with phase_scope(obs, name):
+            for program in programs.values():
+                program.begin_phase(name, **config)
+            before = network.stats.rounds
+            network.run(max_rounds=budget, stop_when_idle=True)
+            # Drain any messages still in flight (the synchronous
+            # schedule would have waited the full budget; we stop once
+            # quiet).
+            while network.in_flight:
+                network.run(max_rounds=1)
+            return network.stats.rounds - before
 
     radius_bound = 0
     budgeted_rounds = 0

@@ -15,8 +15,9 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.distributed.faults import FaultPlan
 from repro.distributed.reliable import ReliableConfig, build_network
-from repro.distributed.simulator import Api, Network, NetworkStats, NodeProgram
+from repro.distributed.simulator import Api, NetworkStats, NodeProgram
 from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.obs.trace import Obs, phase_scope
 
 
 class _SurveyProgram(NodeProgram):
@@ -55,6 +56,7 @@ def neighborhood_survey(
     fault_plan: Optional[FaultPlan] = None,
     reliable: bool = False,
     reliable_config: Optional[ReliableConfig] = None,
+    obs: Optional[Obs] = None,
 ) -> Tuple[Dict[int, Set[Edge]], NetworkStats]:
     """Every vertex collects all edges within ``radius`` hops.
 
@@ -65,13 +67,17 @@ def neighborhood_survey(
     ``fault_plan``/``reliable`` plug in fault injection and the
     reliable-delivery adapter.
     """
+    if obs is not None and not obs.protocol:
+        obs.protocol = "survey"
     programs = {v: _SurveyProgram(v) for v in graph.vertices()}
-    network = build_network(
-        graph,
-        programs,
-        fault_plan=fault_plan,
-        reliable=reliable,
-        reliable_config=reliable_config,
-    )
-    stats = network.run(max_rounds=radius, stop_when_idle=True)
+    with phase_scope(obs, "survey"):
+        network = build_network(
+            graph,
+            programs,
+            fault_plan=fault_plan,
+            reliable=reliable,
+            reliable_config=reliable_config,
+            obs=obs,
+        )
+        stats = network.run(max_rounds=radius, stop_when_idle=True)
     return {v: p.known_edges for v, p in programs.items()}, stats

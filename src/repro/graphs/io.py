@@ -7,7 +7,6 @@ variants carry a third column.
 
 from __future__ import annotations
 
-import os
 from typing import TextIO, Union
 
 from repro.graphs.graph import Graph

@@ -1,0 +1,105 @@
+"""Wall-clock attribution per protocol phase.
+
+The simulator's round loop is pure Python, so *where wall-clock goes*
+and *where rounds go* can diverge badly (a phase with few rounds but
+wide messages dominates serialization cost).  :class:`PhaseProfiler`
+hangs off :meth:`repro.obs.trace.Obs.phase` and accumulates seconds per
+phase name.
+
+Timing every phase entry is the default; for tight phase loops (the
+skeleton enters ``exchange``/``converge``/``decide`` once per Expand
+call) an **opt-in sampling timer** (``sample_every=k``) reads the clock
+on every k-th entry only and scales the estimate, trading accuracy for
+near-zero probe cost.  ``benchmarks/bench_trace_overhead.py`` (E21)
+quantifies both modes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["PhaseProfiler", "PhaseTiming"]
+
+
+class PhaseTiming:
+    """Accumulated timing for one phase name."""
+
+    __slots__ = ("calls", "sampled", "seconds")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.sampled = 0
+        self.seconds = 0.0
+
+    @property
+    def estimated_seconds(self) -> float:
+        """Measured time scaled to the unsampled calls."""
+        if self.sampled == 0:
+            return 0.0
+        return self.seconds * (self.calls / self.sampled)
+
+
+class PhaseProfiler:
+    """Per-phase wall-clock accumulator with optional sampling.
+
+    ``sample_every=1`` (default) times every phase entry;
+    ``sample_every=k`` times one entry in ``k`` and reports a scaled
+    estimate.  ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        sample_every: int = 1,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.sample_every = sample_every
+        self.clock = clock
+        self.timings: Dict[str, PhaseTiming] = {}
+
+    # ------------------------------------------------------------------
+    # Obs.phase integration
+    # ------------------------------------------------------------------
+    def enter(self, name: str) -> Optional[float]:
+        """Start timing ``name``; returns an opaque token for :meth:`exit`
+        (``None`` when this entry is skipped by the sampler)."""
+        timing = self.timings.get(name)
+        if timing is None:
+            timing = self.timings[name] = PhaseTiming()
+        timing.calls += 1
+        if (timing.calls - 1) % self.sample_every:
+            return None
+        return self.clock()
+
+    def exit(self, name: str, token: Optional[float]) -> None:
+        if token is None:
+            return
+        timing = self.timings[name]
+        timing.sampled += 1
+        timing.seconds += self.clock() - token
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def total_seconds(self) -> float:
+        return sum(t.estimated_seconds for t in self.timings.values())
+
+    def rows(self) -> List[Tuple[str, int, float, float]]:
+        """``(phase, calls, est. seconds, share)`` sorted by time desc."""
+        total = self.total_seconds() or 1.0
+        rows = [
+            (name, t.calls, t.estimated_seconds, t.estimated_seconds / total)
+            for name, t in self.timings.items()
+        ]
+        rows.sort(key=lambda row: (-row[2], row[0]))
+        return rows
+
+    def render(self) -> str:
+        lines = ["phase                     calls   est.sec  share"]
+        for name, calls, seconds, share in self.rows():
+            lines.append(
+                f"{name:<25} {calls:>5}  {seconds:>8.4f}  {share:>5.1%}"
+            )
+        return "\n".join(lines)

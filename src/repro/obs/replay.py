@@ -1,0 +1,320 @@
+"""Trace replay: reconstruct stats, summarize, and diff runs.
+
+Three consumers of the :mod:`repro.obs.trace` event stream:
+
+* :func:`reconstruct_stats` — re-derive the run's
+  :class:`~repro.distributed.simulator.NetworkStats` purely from the
+  trace.  The reconstruction replicates the simulator's own accounting
+  (per-network segments folded with ``merged_with``, cap-violation
+  audits against each segment's cap, the bounded fault-event log), so
+  ``reconstruct_stats(trace) == spanner.metadata["network_stats"]``
+  exactly — the cross-check that proves the trace is a faithful record.
+
+* :func:`summarize` — totals and the per-phase round/message/word
+  breakdown (from ``phase_end`` markers) behind
+  ``python -m repro trace summary`` and
+  :func:`repro.analysis.report.phase_budget_report`.
+
+* :func:`first_divergence` — deterministically compare two traces and
+  report the first event where they part ways, as a
+  ``(round, edge, event)`` triple.  This turns "two seeded runs agree"
+  from an end-state assertion (compare final edge sets) into a
+  *localizable* one: under ``reliable=True`` with different
+  ``FaultPlan`` seeds the divergence pinpoints the exact first fault
+  that had to be masked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.distributed.faults import (
+    CRASH,
+    CRASH_DROP,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    LINK_DEAD,
+    RECOVER,
+    REORDER,
+    FaultEvent,
+)
+from repro.distributed.simulator import NetworkStats
+
+__all__ = [
+    "TraceDivergence",
+    "PhaseSummary",
+    "TraceSummary",
+    "reconstruct_stats",
+    "summarize",
+    "first_divergence",
+    "filter_events",
+]
+
+Event = Dict[str, Any]
+
+
+# ----------------------------------------------------------------------
+# NetworkStats reconstruction
+# ----------------------------------------------------------------------
+def _segment_stats(events: List[Event]) -> NetworkStats:
+    """Rebuild one network's :class:`NetworkStats` from its events."""
+    net = events[0] if events and events[0]["e"] == "net" else {}
+    cap = net.get("cap")
+    limit = net.get("fl", 256)
+    stats = NetworkStats(cap=cap)
+    for event in events:
+        etype = event["e"]
+        if etype == "round":
+            stats.rounds += 1
+        elif etype == "send":
+            stats.observe(event["w"])
+        elif etype == "retransmit":
+            stats.retransmissions += 1
+        elif etype == "fault":
+            kind = event["kind"]
+            if kind == DROP:
+                stats.dropped += 1
+            elif kind == CRASH_DROP:
+                stats.dropped += event["info"] or 1
+            elif kind == DUPLICATE:
+                stats.duplicated += 1
+            elif kind == DELAY:
+                stats.delayed += 1
+            elif kind == REORDER:
+                stats.reordered += 1
+            elif kind == LINK_DEAD:
+                stats.dead_links += 1
+            stats.record_fault(
+                FaultEvent(
+                    kind,
+                    event["r"],
+                    src=event["src"],
+                    dst=event["dst"],
+                    info=event["info"],
+                ),
+                limit,
+            )
+    return stats
+
+
+def reconstruct_stats(events: Iterable[Event]) -> Optional[NetworkStats]:
+    """Fold the trace's per-network segments back into one
+    :class:`NetworkStats`, exactly as the protocol runners do."""
+    segments: List[List[Event]] = []
+    for event in events:
+        if event["e"] == "net" or not segments:
+            segments.append([])
+        segments[-1].append(event)
+    if not segments:
+        return None
+    total = _segment_stats(segments[0])
+    for segment in segments[1:]:
+        total = total.merged_with(_segment_stats(segment))
+    return total
+
+
+# ----------------------------------------------------------------------
+# Summaries
+# ----------------------------------------------------------------------
+@dataclass
+class PhaseSummary:
+    """Aggregated ``phase_end`` markers for one (protocol, phase) pair."""
+
+    protocol: str
+    phase: str
+    calls: int = 0
+    rounds: int = 0
+    messages: int = 0
+    words: int = 0
+
+
+@dataclass
+class TraceSummary:
+    """Whole-trace totals plus the per-phase breakdown."""
+
+    networks: int = 0
+    rounds: int = 0
+    messages: int = 0
+    words: int = 0
+    max_message_words: int = 0
+    retransmissions: int = 0
+    halts: int = 0
+    faults: Dict[str, int] = field(default_factory=dict)
+    phases: List[PhaseSummary] = field(default_factory=list)
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(
+            count
+            for kind, count in self.faults.items()
+            if kind not in (CRASH, RECOVER, LINK_DEAD)
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"networks={self.networks} rounds={self.rounds} "
+            f"messages={self.messages} words={self.words} "
+            f"max_words={self.max_message_words}",
+        ]
+        if self.retransmissions:
+            lines.append(f"retransmissions={self.retransmissions}")
+        if self.halts:
+            lines.append(f"halts={self.halts}")
+        if self.faults:
+            text = " ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(self.faults.items())
+            )
+            lines.append(f"faults: {text}")
+        if self.phases:
+            lines.append("")
+            lines.append(
+                f"{'phase':<22} {'calls':>5} {'rounds':>6} "
+                f"{'msgs':>8} {'words':>9}"
+            )
+            for p in self.phases:
+                lines.append(
+                    f"{p.phase:<22} {p.calls:>5} {p.rounds:>6} "
+                    f"{p.messages:>8} {p.words:>9}"
+                )
+        return "\n".join(lines)
+
+
+def summarize(events: Iterable[Event]) -> TraceSummary:
+    """Aggregate a trace into a :class:`TraceSummary`."""
+    summary = TraceSummary()
+    phases: Dict[Tuple[str, str], PhaseSummary] = {}
+    for event in events:
+        etype = event["e"]
+        if etype == "net":
+            summary.networks += 1
+        elif etype == "round":
+            summary.rounds += 1
+        elif etype == "send":
+            summary.messages += 1
+            summary.words += event["w"]
+            if event["w"] > summary.max_message_words:
+                summary.max_message_words = event["w"]
+        elif etype == "retransmit":
+            summary.retransmissions += 1
+        elif etype == "halt":
+            summary.halts += 1
+        elif etype == "fault":
+            kind = event["kind"]
+            summary.faults[kind] = summary.faults.get(kind, 0) + 1
+        elif etype == "phase_end":
+            key = (event["proto"], event["name"])
+            phase = phases.get(key)
+            if phase is None:
+                phase = phases[key] = PhaseSummary(*key)
+                summary.phases.append(phase)
+            phase.calls += 1
+            phase.rounds += event["rounds"]
+            phase.messages += event["msgs"]
+            phase.words += event["words"]
+    return summary
+
+
+# ----------------------------------------------------------------------
+# Diff
+# ----------------------------------------------------------------------
+@dataclass
+class TraceDivergence:
+    """The first point where two traces disagree.
+
+    ``round`` is the simulation round of the divergent event, ``edge``
+    its ``(src, dst)`` slot when the event names one, and
+    ``event_a``/``event_b`` the conflicting events (``None`` on the
+    shorter side when one trace is a strict prefix of the other).
+    """
+
+    index: int
+    round: int
+    edge: Optional[Tuple[int, int]]
+    event_a: Optional[Event]
+    event_b: Optional[Event]
+
+    def render(self) -> str:
+        edge = f"{self.edge[0]}->{self.edge[1]}" if self.edge else "-"
+        return (
+            f"first divergence at event #{self.index} "
+            f"(round {self.round}, edge {edge}):\n"
+            f"  a: {self.event_a}\n"
+            f"  b: {self.event_b}"
+        )
+
+
+def _event_round(event: Optional[Event], current: int) -> int:
+    if event is not None and isinstance(event.get("r"), int):
+        return event["r"]
+    return current
+
+
+def _event_edge(event: Optional[Event]) -> Optional[Tuple[int, int]]:
+    if event is None:
+        return None
+    src, dst = event.get("src"), event.get("dst")
+    if src is not None and dst is not None:
+        return (src, dst)
+    return None
+
+
+def first_divergence(
+    events_a: Iterable[Event], events_b: Iterable[Event]
+) -> Optional[TraceDivergence]:
+    """The first ``(round, edge, event)`` where the traces differ, or
+    ``None`` if they are identical event for event."""
+    a, b = list(events_a), list(events_b)
+    current_round = 0
+    for index in range(max(len(a), len(b))):
+        ev_a = a[index] if index < len(a) else None
+        ev_b = b[index] if index < len(b) else None
+        if ev_a == ev_b:
+            if ev_a["e"] == "round":
+                current_round = ev_a["r"]
+            continue
+        divergent = ev_a if ev_a is not None else ev_b
+        return TraceDivergence(
+            index=index,
+            round=_event_round(divergent, current_round),
+            edge=_event_edge(divergent),
+            event_a=ev_a,
+            event_b=ev_b,
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Filtering
+# ----------------------------------------------------------------------
+def filter_events(
+    events: Iterable[Event],
+    kind: Optional[str] = None,
+    round_no: Optional[int] = None,
+    node: Optional[int] = None,
+    src: Optional[int] = None,
+    dst: Optional[int] = None,
+) -> List[Event]:
+    """Select events by type, round, or participating node.
+
+    ``node`` matches an event's ``src``, ``dst`` or ``node`` field;
+    ``src``/``dst`` match those fields exactly.
+    """
+    out: List[Event] = []
+    for event in events:
+        if kind is not None and event["e"] != kind:
+            continue
+        if round_no is not None and event.get("r") != round_no:
+            continue
+        if src is not None and event.get("src") != src:
+            continue
+        if dst is not None and event.get("dst") != dst:
+            continue
+        if node is not None and node not in (
+            event.get("src"), event.get("dst"), event.get("node")
+        ):
+            continue
+        out.append(event)
+    return out

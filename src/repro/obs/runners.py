@@ -1,0 +1,84 @@
+"""One-call traced runs of the five distributed protocols.
+
+``run_traced("skeleton", graph, seed=1, obs=obs)`` normalizes the five
+entry points (whose signatures and return shapes differ) to a single
+``(result, NetworkStats)`` pair — the shared driver behind the
+``python -m repro trace record`` CLI, the determinism/replay tests and
+benchmark E21.  Protocol imports are deferred so importing
+:mod:`repro.obs` never drags in the protocol modules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.graphs.graph import Graph
+
+__all__ = ["PROTOCOLS", "run_traced"]
+
+#: the five traced protocols, in Fig. 1 order.
+PROTOCOLS = ("skeleton", "baswana_sen", "additive", "fibonacci", "survey")
+
+
+def run_traced(
+    protocol: str,
+    graph: Graph,
+    seed: Any = None,
+    obs: Optional[Any] = None,
+    reliable: bool = False,
+    fault_plan: Optional[Any] = None,
+    **kwargs: Any,
+) -> Tuple[Any, Any]:
+    """Run one protocol under observation; returns ``(result, stats)``.
+
+    ``result`` is the protocol's natural output (a
+    :class:`~repro.spanner.spanner.Spanner` for the four spanner
+    builders, the ``known`` edge map for ``survey``); ``stats`` is the
+    aggregated :class:`~repro.distributed.simulator.NetworkStats` that
+    :func:`repro.obs.replay.reconstruct_stats` must reproduce.
+    """
+    common = dict(
+        obs=obs, reliable=reliable, fault_plan=fault_plan, **kwargs
+    )
+    if protocol == "skeleton":
+        from repro.distributed.skeleton_protocol import distributed_skeleton
+
+        spanner = distributed_skeleton(graph, seed=seed, **common)
+        return spanner, spanner.metadata["network_stats"]
+    if protocol == "baswana_sen":
+        from repro.distributed.baswana_sen_protocol import (
+            distributed_baswana_sen,
+        )
+
+        k = kwargs.pop("k", 3)
+        common = dict(
+            obs=obs, reliable=reliable, fault_plan=fault_plan, **kwargs
+        )
+        spanner = distributed_baswana_sen(graph, k, seed=seed, **common)
+        return spanner, spanner.metadata["network_stats"]
+    if protocol == "additive":
+        from repro.distributed.additive_protocol import distributed_additive2
+
+        spanner = distributed_additive2(graph, seed=seed, **common)
+        return spanner, spanner.metadata["network_stats"]
+    if protocol == "fibonacci":
+        from repro.distributed.fibonacci_protocol import (
+            distributed_fibonacci_spanner,
+        )
+
+        spanner = distributed_fibonacci_spanner(
+            graph, order=2, seed=seed, **common
+        )
+        return spanner, spanner.metadata["network_stats"]
+    if protocol == "survey":
+        from repro.distributed.survey_protocol import neighborhood_survey
+
+        radius = kwargs.pop("radius", 3)
+        common = dict(
+            obs=obs, reliable=reliable, fault_plan=fault_plan, **kwargs
+        )
+        known, stats = neighborhood_survey(graph, radius, **common)
+        return known, stats
+    raise ValueError(
+        f"unknown protocol {protocol!r}; choose from {PROTOCOLS}"
+    )

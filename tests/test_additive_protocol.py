@@ -3,7 +3,6 @@ additive-2 spanner protocol."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro.distributed.additive_protocol import distributed_additive2
 from repro.distributed.primitives import pipelined_broadcast_protocol

@@ -14,7 +14,6 @@ for); these tests force them and check correctness is preserved.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.distributed import (
     distributed_fibonacci_spanner,

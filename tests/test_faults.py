@@ -14,14 +14,7 @@ from repro.distributed import (
     Network,
     NodeProgram,
 )
-from repro.distributed.faults import (
-    CRASH,
-    CRASH_DROP,
-    DELAY,
-    DROP,
-    DUPLICATE,
-    RECOVER,
-)
+from repro.distributed.faults import CRASH, CRASH_DROP, DELAY, DROP, RECOVER
 from repro.graphs import complete, path, star
 
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.core.fibonacci import FibonacciParams, sample_levels
 from repro.distributed import distributed_fibonacci_spanner

@@ -7,7 +7,6 @@ check cross-algorithm relationships (the Fig. 1 orderings).
 
 from __future__ import annotations
 
-import math
 
 import pytest
 

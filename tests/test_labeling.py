@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.applications import DistanceLabeling
 from repro.graphs import Graph, bfs_distances, erdos_renyi_gnp, grid_2d, path

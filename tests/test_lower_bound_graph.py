@@ -12,7 +12,6 @@ from repro.graphs import (
     theorem5_parameters,
     theorem6_parameters,
 )
-from repro.graphs.graph import canonical_edge
 from repro.graphs.properties import distance
 
 

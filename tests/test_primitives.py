@@ -3,7 +3,6 @@ path retrace) against their sequential ground truth."""
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

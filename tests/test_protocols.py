@@ -16,7 +16,7 @@ from repro.distributed import (
     distributed_skeleton,
 )
 from repro.distributed.fibonacci_protocol import adjust_probabilities_for_cap
-from repro.graphs import chain_of_cliques, erdos_renyi_gnp, grid_2d, path
+from repro.graphs import erdos_renyi_gnp, grid_2d, path
 from repro.spanner import (
     verify_connectivity,
     verify_spanner_guarantee,

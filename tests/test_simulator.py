@@ -7,7 +7,7 @@ from typing import Any, List, Tuple
 import pytest
 
 from repro.distributed import Api, Network, NetworkStats, NodeProgram, ProtocolError
-from repro.graphs import Graph, path, star
+from repro.graphs import path, star
 
 
 class Echo(NodeProgram):

@@ -11,7 +11,6 @@ within the cluster's own preimage (the spanning tree is internal).
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -10,11 +10,10 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.distributed.simulator import Network
 from repro.distributed.skeleton_protocol import _SkeletonProgram
-from repro.graphs import Graph, path, star
+from repro.graphs import path, star
 
 
 def _make(graph, cap_entries=8):

@@ -9,7 +9,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines.streaming import DynamicSpanner, StreamingSpanner
-from repro.graphs import erdos_renyi_gnp, girth, grid_2d, path
+from repro.graphs import erdos_renyi_gnp, girth, path
 from repro.spanner import verify_connectivity, verify_spanner_guarantee
 
 
