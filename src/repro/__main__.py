@@ -1,4 +1,4 @@
-"""CLI: `python -m repro` — Fig. 1 comparison and trace tooling.
+"""CLI: `python -m repro` — Fig. 1 comparison, trace tooling, linting.
 
 Legacy report (unchanged interface)::
 
@@ -16,6 +16,10 @@ Trace tooling (see ``docs/observability.md``)::
     python -m repro trace diff A B
     python -m repro trace filter FILE [--kind K] [--round R]
                                       [--node V] [--src V] [--dst V]
+
+Static analysis (see ``docs/static_analysis.md``)::
+
+    python -m repro lint [paths] [--select CODES] [--list-rules]
 """
 
 from __future__ import annotations
@@ -184,10 +188,34 @@ def _trace_main(argv: List[str]) -> int:
     raise AssertionError(args.command)
 
 
+_USAGE = """\
+usage: python -m repro [subcommand] ...
+
+subcommands:
+  lint [paths] [--select CODES] [--list-rules]
+        run the repro-lint static analyzer (REP001-REP005 protocol
+        invariants; exit 1 on findings) -- docs/static_analysis.md
+  trace {record,summary,diff,filter} ...
+        record and inspect simulator traces -- docs/observability.md
+  [n] [p] [seed]
+        (no subcommand) print the measured Fig. 1 comparison table on
+        an Erdos-Renyi host G(n, p) (defaults: n=400 p=0.08 seed=2008)
+
+Use `python -m repro <subcommand> --help` for subcommand options.
+"""
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in ("-h", "--help", "help"):
+        print(_USAGE, end="")
+        return 0
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.lint.runner import main as lint_main
+
+        return lint_main(argv[1:])
     return _fig1(argv)
 
 

@@ -17,7 +17,7 @@ cluster radii (w.r.t. the input graph) are one larger than the input's.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.core.clustering import Clustering
 from repro.graphs.graph import Edge, Graph, canonical_edge
@@ -53,7 +53,7 @@ def expand(
     clustering: Clustering,
     p: float,
     seed: SeedLike = None,
-    sampler=None,
+    sampler: Optional[Callable[[int], bool]] = None,
 ) -> ExpandResult:
     """One call to Expand on (``graph``, ``clustering``) with probability ``p``.
 

@@ -186,10 +186,9 @@ def build_fibonacci_spanner(
         if i >= 1:
             forest_cap = float(ell_val) ** (i - 1)
             for v, d in dist_to[i].items():
-                if 1 <= d <= forest_cap:
-                    spanner_edges.add(
-                        canonical_edge(v, parent_of[i][v])
-                    )
+                par = parent_of[i][v]
+                if par is not None and 1 <= d <= forest_cap:
+                    spanner_edges.add(canonical_edge(v, par))
         level_edge_counts.append(len(spanner_edges) - before)
 
     metadata = {

@@ -17,7 +17,7 @@ Guarantees reproduced (Theorem 2 / Lemmas 5–6):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.clustering import Clustering
 from repro.core.expand import expand
@@ -25,7 +25,7 @@ from repro.core.schedule import Round, build_schedule, exact_form_schedule
 from repro.graphs.contraction import contract
 from repro.graphs.graph import Edge, Graph, canonical_edge
 from repro.spanner.spanner import Spanner
-from repro.util.rng import SeedLike, ensure_rng
+from repro.util.rng import Prf, SeedLike, ensure_rng
 
 
 @dataclass
@@ -59,7 +59,7 @@ class SkeletonTrace:
         return max((r.radius_bound for r in self.rounds), default=0)
 
 
-def _prf_sampler(prf, call_index: int, p: float):
+def _prf_sampler(prf: Prf, call_index: int, p: float) -> Callable[[int], bool]:
     """Shared-randomness cluster sampler for Expand call ``call_index``."""
 
     def sampler(center: int) -> bool:
@@ -75,7 +75,7 @@ def build_skeleton(
     seed: SeedLike = None,
     schedule: Optional[List[Round]] = None,
     exact_form: bool = False,
-    prf=None,
+    prf: Optional[Prf] = None,
     collect_preimages: bool = False,
     collect_certificates: bool = False,
 ) -> Spanner:
@@ -125,12 +125,12 @@ def build_skeleton(
     work = graph.copy()
     witness: Dict[Edge, Edge] = {e: e for e in work.edges()}
     radius: Dict[int, int] = {v: 0 for v in work.vertices()}
-    preimage: Dict[int, frozenset] = {
+    preimage: Dict[int, FrozenSet[int]] = {
         v: frozenset([v]) for v in work.vertices()
     }
-    preimages: List[Dict[int, frozenset]] = []
-    edge_snapshots: List[frozenset] = []
-    certificates: List[tuple] = []
+    preimages: List[Dict[int, FrozenSet[int]]] = []
+    edge_snapshots: List[FrozenSet[Edge]] = []
+    certificates: List[Tuple[Edge, int]] = []
 
     for round_spec in schedule:
         if work.n == 0:
@@ -146,7 +146,7 @@ def build_skeleton(
         for p in probabilities:
             if work.n == 0:
                 break
-            sampler = None
+            sampler: Optional[Callable[[int], bool]] = None
             if prf is not None:
                 call_index = trace.total_expand_calls + calls_done
                 sampler = _prf_sampler(prf, call_index, p)
@@ -185,7 +185,7 @@ def build_skeleton(
             clustering = result.clustering
             cluster_counts.append(clustering.num_clusters)
             if collect_preimages:
-                snapshot: Dict[int, frozenset] = {}
+                snapshot: Dict[int, FrozenSet[int]] = {}
                 for sv, center in clustering.cluster_of.items():
                     snapshot[center] = snapshot.get(
                         center, frozenset()
@@ -233,7 +233,7 @@ def build_skeleton(
             )
         )
 
-    metadata = {
+    metadata: Dict[str, Any] = {
         "algorithm": "pettie-skeleton",
         "D": D,
         "eps": eps,

@@ -28,11 +28,10 @@ resumes with its pre-crash local state (the fail-pause model); a
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.util.rng import SeedLike, make_prf
+from repro.util.rng import SeedLike, ensure_rng, make_prf
 
 #: fault kinds recorded in :class:`FaultEvent`.
 DROP = "drop"
@@ -195,7 +194,7 @@ class FaultPlan:
             self._prf("reorder-seed", round_no, dst) * 2**63
         )
         perm = list(range(size))
-        random.Random(shuffle_seed).shuffle(perm)
+        ensure_rng(shuffle_seed).shuffle(perm)
         if perm == sorted(perm):
             return None
         return perm

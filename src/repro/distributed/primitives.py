@@ -96,16 +96,24 @@ def bounded_bfs_protocol(
             obs=obs,
         )
         stats = network.run(max_rounds=radius)
-    dist = {v: p.dist for v, p in programs.items() if p.dist is not None}
-    root = {v: p.root for v, p in programs.items() if p.dist is not None}
-    parent = {v: p.parent for v, p in programs.items() if p.dist is not None}
+    dist: Dict[int, int] = {}
+    root: Dict[int, int] = {}
+    parent: Dict[int, Optional[int]] = {}
+    for v, p in programs.items():
+        if p.dist is None or p.root is None:
+            continue  # never heard a source within the budget
+        dist[v] = p.dist
+        root[v] = p.root
+        parent[v] = p.parent
     return dist, root, parent, stats
 
 
 class _BallProgram(NodeProgram):
     """Ball-broadcast node logic with cessation on cap overflow."""
 
-    def __init__(self, node_id: int, is_source: bool, cap: Optional[int]):
+    def __init__(
+        self, node_id: int, is_source: bool, cap: Optional[int]
+    ) -> None:
         self.node_id = node_id
         self.is_source = is_source
         self.cap = cap
@@ -215,7 +223,9 @@ class _PipelinedBroadcastProgram(NodeProgram):
     depth + (#sources)/cap — the width/time product Theorem 5 constrains.
     """
 
-    def __init__(self, node_id: int, is_source: bool, cap):
+    def __init__(
+        self, node_id: int, is_source: bool, cap: Optional[int]
+    ) -> None:
         self.node_id = node_id
         self.is_source = is_source
         self.cap = cap

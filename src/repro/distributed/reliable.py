@@ -39,7 +39,7 @@ chaos tests rely on that loud failure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 from repro.distributed.faults import LINK_DEAD, FaultEvent, FaultPlan
 from repro.distributed.simulator import (
@@ -533,7 +533,7 @@ def build_network(
     reliable: bool = False,
     reliable_config: Optional[ReliableConfig] = None,
     obs: Optional[Any] = None,
-):
+) -> Union[Network, "ReliableNetwork"]:
     """One-stop network construction for protocol entry points.
 
     ``reliable=True`` wraps every program in :class:`ReliableProgram`

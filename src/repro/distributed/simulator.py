@@ -217,6 +217,7 @@ class Network:
             )
         self.graph = graph
         if programs is None:
+            assert program_factory is not None  # by the check above
             programs = {v: program_factory(v) for v in graph.vertices()}
         vertex_set = set(graph.vertices())
         missing = sorted(vertex_set - set(programs))
@@ -319,6 +320,8 @@ class Network:
     ) -> Dict[int, List[Tuple[int, Any]]]:
         """Consult the fault plan for every delivery due this round."""
         plan = self.fault_plan
+        if plan is None:  # callers gate on fault_plan; keep mypy honest
+            return pending
         stats = self.stats
         for event in plan.transitions(round_no):
             self._record_fault(event)

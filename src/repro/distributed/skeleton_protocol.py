@@ -282,7 +282,7 @@ class _SkeletonProgram(NodeProgram):
                         self.p2 = self.best_child
                 else:
                     self.p2 = self.p1
-                for child in self.children:
+                for child in sorted(self.children):
                     api.send(
                         child,
                         (_JOIN, target, w, x,
@@ -305,7 +305,7 @@ class _SkeletonProgram(NodeProgram):
             # aborts stream via the down queue below.
             if not self.dying and self.best is not None:
                 target, w, x = self.best
-                for child in self.children:
+                for child in sorted(self.children):
                     api.send(
                         child,
                         (_JOIN, target, w, x, child == self.best_child),
@@ -318,7 +318,7 @@ class _SkeletonProgram(NodeProgram):
         if self.abort:
             # One abort notice down the whole subtree.
             if not self.die_announced:
-                for child in self.children:
+                for child in sorted(self.children):
                     api.send(child, (_ABORT_DOWN,))
                 self.die_announced = True
             return
@@ -328,7 +328,7 @@ class _SkeletonProgram(NodeProgram):
         if not self.die_announced or self.down_queue:
             batch = tuple(self.down_queue[: self.cap_entries])
             del self.down_queue[: self.cap_entries]
-            for child in self.children:
+            for child in sorted(self.children):
                 api.send(child, (_DIE, batch))
             self.die_announced = True
 

@@ -214,7 +214,7 @@ def preferential_attachment(n: int, m: int, seed: SeedLike = None) -> Graph:
         chosen = set()
         while len(chosen) < m:
             chosen.add(rng.choice(targets))
-        for t in chosen:
+        for t in sorted(chosen):
             g.add_edge(new, t)
             targets.extend((new, t))
     return g

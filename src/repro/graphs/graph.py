@@ -126,7 +126,7 @@ class Graph:
         """Vertex-induced subgraph on ``keep``."""
         keep_set = set(keep)
         g = Graph(vertices=keep_set)
-        for u in keep_set:
+        for u in sorted(keep_set):
             if u in self._adj:
                 for v in self._adj[u]:
                     if v in keep_set and u <= v:

@@ -1,0 +1,48 @@
+"""repro-lint: AST-based checker for the repo's protocol invariants.
+
+The paper's guarantees only hold if the implementation plays by the
+CONGEST-style rules the simulator assumes.  Each rule encodes one such
+invariant with a stable ``REP0xx`` code:
+
+====== ===================== =============================================
+code   name                  invariant
+====== ===================== =============================================
+REP001 determinism           randomness/clock via ``util/rng.py`` only
+REP002 simulation-honesty    nodes talk only through send/recv
+REP003 message-discipline    payloads ordered + word-countable
+REP004 obs-guard             obs calls behind ``if obs is not None``
+REP005 iteration-order       no bare-set iteration where order escapes
+====== ===================== =============================================
+
+Run it as ``python -m repro lint [paths]``; see
+``docs/static_analysis.md`` for the full catalog and suppression syntax.
+"""
+
+from repro.lint.base import ALGORITHMIC_PACKAGES, FileContext, Rule, make_context
+from repro.lint.determinism import DeterminismRule
+from repro.lint.diagnostics import Diagnostic, Suppressions, parse_suppressions
+from repro.lint.honesty import HonestyRule
+from repro.lint.iteration import IterationOrderRule
+from repro.lint.messages import MessageDisciplineRule, static_payload_words
+from repro.lint.obsguard import ObsGuardRule
+from repro.lint.runner import ALL_RULES, lint_file, lint_paths, main
+
+__all__ = [
+    "ALGORITHMIC_PACKAGES",
+    "ALL_RULES",
+    "Diagnostic",
+    "DeterminismRule",
+    "FileContext",
+    "HonestyRule",
+    "IterationOrderRule",
+    "MessageDisciplineRule",
+    "ObsGuardRule",
+    "Rule",
+    "Suppressions",
+    "lint_file",
+    "lint_paths",
+    "main",
+    "make_context",
+    "parse_suppressions",
+    "static_payload_words",
+]

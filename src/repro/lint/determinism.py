@@ -1,0 +1,162 @@
+"""REP001 — determinism: all randomness flows through ``repro.util.rng``.
+
+The paper's protocols rely on *shared randomness*: every processor
+derives identical sampling decisions from a common seed, with zero
+communication spent on coin flips (Sect. 2.1, Sect. 4.1; see
+``util/rng.py``).  The sequential/distributed cross-validation tests and
+the byte-identical trace guarantee (PR 2) both assume it.  A single
+``random.random()`` or ``time.time()`` call in the algorithmic core
+silently breaks every one of those properties, so this rule bans them
+statically in ``core/``, ``distributed/``, ``graphs/`` and ``spanner/``:
+
+* any call ``random.<fn>(...)`` (including seeded ``random.Random(s)`` —
+  construct generators via :func:`repro.util.rng.ensure_rng` /
+  :func:`repro.util.rng.spawn_rng` so seeding policy lives in one place);
+* ``from random import ...`` in any form;
+* wall-clock reads ``time.time()`` / ``time.time_ns()`` (round counting
+  is the model's only clock; ``perf_counter`` is allowed for profiling);
+* ``os.urandom(...)``;
+* ``numpy.random`` calls, except explicitly seeded ``default_rng(seed)``
+  / ``RandomState(seed)`` / ``SeedSequence(seed)`` constructions.
+
+Type annotations such as ``rng: random.Random`` are *not* calls and are
+deliberately permitted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator
+
+from repro.lint.base import (
+    ALGORITHMIC_PACKAGES,
+    FileContext,
+    Rule,
+    attribute_chain,
+)
+from repro.lint.diagnostics import Diagnostic
+
+__all__ = ["DeterminismRule"]
+
+#: numpy.random entry points that are fine *when given a seed argument*.
+_SEEDED_CONSTRUCTORS = frozenset(
+    {"default_rng", "RandomState", "SeedSequence", "Generator"}
+)
+_BANNED_TIME = frozenset({"time", "time_ns"})
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map bound names to dotted module paths for every ``import`` stmt."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    aliases[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    aliases[root] = root
+    return aliases
+
+
+class DeterminismRule(Rule):
+    code = "REP001"
+    name = "determinism"
+    summary = (
+        "randomness and wall-clock reads in the algorithmic core must go "
+        "through repro.util.rng (shared-randomness model, Sect. 2.1/4.1)"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_packages(ALGORITHMIC_PACKAGES)
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        aliases = _import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, aliases)
+
+    def _check_import_from(
+        self, ctx: FileContext, node: ast.ImportFrom
+    ) -> Iterator[Diagnostic]:
+        module = node.module or ""
+        if module == "random" or module.startswith("random."):
+            yield self.diag(
+                ctx,
+                node,
+                "import from the stdlib random module; route randomness "
+                "through repro.util.rng (ensure_rng/make_prf/spawn_rng)",
+            )
+        elif module == "numpy.random":
+            yield self.diag(
+                ctx,
+                node,
+                "import from numpy.random; use an explicitly seeded "
+                "generator threaded from repro.util.rng",
+            )
+        elif module == "time":
+            names = {alias.name for alias in node.names}
+            if names & _BANNED_TIME:
+                yield self.diag(
+                    ctx,
+                    node,
+                    "wall-clock import (time.time/time_ns); rounds are the "
+                    "model's only clock",
+                )
+        elif module == "os":
+            names = {alias.name for alias in node.names}
+            if "urandom" in names:
+                yield self.diag(
+                    ctx,
+                    node,
+                    "os.urandom import; entropy must come from the run seed "
+                    "via repro.util.rng",
+                )
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, aliases: Dict[str, str]
+    ) -> Iterator[Diagnostic]:
+        chain = attribute_chain(node.func)
+        if chain is None:
+            return
+        root, attrs = chain
+        module = aliases.get(root)
+        if module is None or not attrs:
+            return
+        dotted = ".".join([module] + attrs)
+        if dotted.startswith("random."):
+            yield self.diag(
+                ctx,
+                node,
+                f"call to {dotted}(); use repro.util.rng "
+                "(ensure_rng/make_prf/spawn_rng) so every draw is seeded "
+                "and replayable",
+            )
+        elif dotted in ("time.time", "time.time_ns"):
+            yield self.diag(
+                ctx,
+                node,
+                f"wall-clock read {dotted}(); synchronous rounds are the "
+                "model's only clock (use the round counter, or "
+                "perf_counter in obs/ profiling code)",
+            )
+        elif dotted == "os.urandom":
+            yield self.diag(
+                ctx,
+                node,
+                "os.urandom() draws OS entropy; derive bytes from the run "
+                "seed via repro.util.rng instead",
+            )
+        elif dotted.startswith("numpy.random."):
+            fn = attrs[-1]
+            if fn in _SEEDED_CONSTRUCTORS and (node.args or node.keywords):
+                return
+            yield self.diag(
+                ctx,
+                node,
+                f"unseeded numpy.random call {dotted}(); construct an "
+                "explicitly seeded generator (numpy.random.default_rng("
+                "seed)) with a seed threaded from repro.util.rng",
+            )

@@ -1,0 +1,183 @@
+"""repro-lint driver: file discovery, rule dispatch, CLI.
+
+Usage (also reachable as ``python -m repro lint``)::
+
+    python -m repro lint src               # lint a tree, exit 1 on findings
+    python -m repro lint --select REP001,REP005 src/repro/core
+    python -m repro lint --list-rules
+
+Diagnostics print as ``path:line:col: REPxxx message`` and are sorted by
+location, so output is deterministic and editor-clickable.  A file that
+fails to parse yields a single ``REP000`` diagnostic instead of crashing
+the run.  Inline ``# repro-lint: disable=REPxxx`` comments suppress
+findings on their line (see :mod:`repro.lint.diagnostics`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, TextIO
+
+from repro.lint.base import FileContext, Rule, make_context
+from repro.lint.determinism import DeterminismRule
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.honesty import HonestyRule
+from repro.lint.iteration import IterationOrderRule
+from repro.lint.messages import MessageDisciplineRule
+from repro.lint.obsguard import ObsGuardRule
+
+__all__ = ["ALL_RULES", "lint_file", "lint_paths", "main"]
+
+#: the full rule set, in code order.
+ALL_RULES: List[Rule] = [
+    DeterminismRule(),
+    HonestyRule(),
+    MessageDisciplineRule(),
+    ObsGuardRule(),
+    IterationOrderRule(),
+]
+
+
+def _select_rules(codes: Optional[Iterable[str]]) -> List[Rule]:
+    if codes is None:
+        return list(ALL_RULES)
+    wanted = {c.strip().upper() for c in codes if c.strip()}
+    unknown = wanted - {rule.code for rule in ALL_RULES}
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s): {', '.join(sorted(unknown))}"
+        )
+    return [rule for rule in ALL_RULES if rule.code in wanted]
+
+
+def lint_file(
+    path: Path,
+    rules: Optional[Sequence[Rule]] = None,
+    display_path: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Lint one file; returns sorted, suppression-filtered diagnostics."""
+    shown = display_path or str(path)
+    try:
+        ctx = make_context(path, shown)
+    except (SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        return [
+            Diagnostic(
+                path=shown,
+                line=line,
+                col=1,
+                code="REP000",
+                message=f"file does not parse: {exc.msg if isinstance(exc, SyntaxError) else exc}",
+            )
+        ]
+    return _run_rules(ctx, rules if rules is not None else ALL_RULES)
+
+
+def _run_rules(
+    ctx: FileContext, rules: Sequence[Rule]
+) -> List[Diagnostic]:
+    seen = set()
+    findings: List[Diagnostic] = []
+    for rule in rules:
+        if not rule.applies(ctx):
+            continue
+        for diag in rule.check(ctx):
+            if ctx.suppressions.active(diag.line, diag.code):
+                continue
+            anchor = (diag.path, diag.line, diag.col, diag.code)
+            if anchor in seen:
+                continue  # nested AST visits can re-find the same spot
+            seen.add(anchor)
+            findings.append(diag)
+    return sorted(findings)
+
+
+def _python_files(root: Path) -> Iterable[Path]:
+    if root.is_file():
+        yield root
+        return
+    yield from sorted(
+        p
+        for p in root.rglob("*.py")
+        if not any(part.startswith(".") for part in p.parts)
+    )
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Diagnostic]:
+    """Lint files/trees; missing paths raise :class:`FileNotFoundError`."""
+    active = list(rules) if rules is not None else list(ALL_RULES)
+    findings: List[Diagnostic] = []
+    for raw in paths:
+        root = Path(raw)
+        if not root.exists():
+            raise FileNotFoundError(raw)
+        for path in _python_files(root):
+            findings.extend(lint_file(path, active))
+    return sorted(findings)
+
+
+def main(
+    argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None
+) -> int:
+    """CLI entry point; returns the process exit code (1 on findings)."""
+    stream = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST-based checker for the repo's protocol invariants "
+            "(determinism, simulation honesty, message discipline, obs "
+            "guards, iteration order). See docs/static_analysis.md."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code} {rule.name}: {rule.summary}", file=stream)
+        return 0
+
+    try:
+        rules = _select_rules(
+            args.select.split(",") if args.select else None
+        )
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    try:
+        findings = lint_paths(args.paths, rules)
+    except FileNotFoundError as exc:
+        print(f"repro lint: no such path: {exc}", file=sys.stderr)
+        return 2
+    for diag in findings:
+        print(diag.render(), file=stream)
+    if findings:
+        print(
+            f"repro lint: {len(findings)} finding(s)", file=stream
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

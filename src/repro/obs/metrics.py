@@ -13,11 +13,23 @@ measurable quantities.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 LabelKey = Tuple[Tuple[str, str], ...]
+
+M = TypeVar("M")
 
 
 def _label_key(labels: Dict[str, Any]) -> LabelKey:
@@ -30,7 +42,7 @@ class Counter:
     __slots__ = ("value",)
 
     def __init__(self) -> None:
-        self.value = 0
+        self.value: float = 0
 
     def inc(self, amount: Union[int, float] = 1) -> None:
         if amount < 0:
@@ -44,7 +56,7 @@ class Gauge:
     __slots__ = ("value",)
 
     def __init__(self) -> None:
-        self.value = 0.0
+        self.value: float = 0.0
 
     def set(self, value: Union[int, float]) -> None:
         self.value = value
@@ -64,7 +76,7 @@ class Histogram:
 
     def __init__(self, num_buckets: int = 24) -> None:
         self.count = 0
-        self.total = 0.0
+        self.total: float = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self.buckets = [0] * num_buckets
@@ -94,12 +106,20 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: Dict[Tuple[str, str, LabelKey], Any] = {}
 
-    def _get(self, kind: str, factory, name: str, labels: Dict[str, Any]):
+    def _get(
+        self,
+        kind: str,
+        factory: Callable[[], M],
+        name: str,
+        labels: Dict[str, Any],
+    ) -> M:
         key = (kind, name, _label_key(labels))
         metric = self._metrics.get(key)
         if metric is None:
             metric = self._metrics[key] = factory()
-        return metric
+        # the registry stores metrics as Any; ``kind`` in the key ties
+        # each entry back to the factory that created it.
+        return metric  # type: ignore[no-any-return]
 
     def counter(self, name: str, **labels: Any) -> Counter:
         return self._get("counter", Counter, name, labels)

@@ -247,8 +247,10 @@ class TraceDivergence:
 
 
 def _event_round(event: Optional[Event], current: int) -> int:
-    if event is not None and isinstance(event.get("r"), int):
-        return event["r"]
+    if event is not None:
+        value = event.get("r")
+        if isinstance(value, int):
+            return value
     return current
 
 
@@ -272,7 +274,7 @@ def first_divergence(
         ev_a = a[index] if index < len(a) else None
         ev_b = b[index] if index < len(b) else None
         if ev_a == ev_b:
-            if ev_a["e"] == "round":
+            if ev_a is not None and ev_a["e"] == "round":
                 current_round = ev_a["r"]
             continue
         divergent = ev_a if ev_a is not None else ev_b

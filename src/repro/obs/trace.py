@@ -44,7 +44,20 @@ from __future__ import annotations
 import json
 import zlib
 from contextlib import contextmanager, nullcontext
-from typing import Any, Dict, IO, Iterable, Iterator, List, Optional, Union
+from typing import (
+    IO,
+    Any,
+    ContextManager,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Union,
+)
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import PhaseProfiler
 
 __all__ = [
     "TraceRecorder",
@@ -57,7 +70,7 @@ __all__ = [
 ]
 
 
-def phase_scope(obs: Optional["Obs"], name: str):
+def phase_scope(obs: Optional["Obs"], name: str) -> ContextManager[None]:
     """``obs.phase(name)`` tolerating ``obs=None`` — the one-liner the
     protocol runners use to mark phases without observability plumbing."""
     return obs.phase(name) if obs is not None else nullcontext()
@@ -80,7 +93,7 @@ class TraceRecorder:
         self.events: List[Dict[str, Any]] = []
 
     def emit(self, etype: str, **fields: Any) -> None:
-        event = {"e": etype}
+        event: Dict[str, Any] = {"e": etype}
         event.update(fields)
         self.events.append(event)
 
@@ -116,20 +129,20 @@ def dumps_events(events: Iterable[Dict[str, Any]]) -> str:
 def dump_events(
     events: Iterable[Dict[str, Any]], path_or_file: Union[str, IO[str]]
 ) -> None:
-    if hasattr(path_or_file, "write"):
-        path_or_file.write(dumps_events(events))
-    else:
+    if isinstance(path_or_file, str):
         with open(path_or_file, "w") as fh:
             fh.write(dumps_events(events))
+    else:
+        path_or_file.write(dumps_events(events))
 
 
 def load_events(path_or_file: Union[str, IO[str]]) -> List[Dict[str, Any]]:
     """Parse a JSONL trace back into its event list."""
-    if hasattr(path_or_file, "read"):
-        text = path_or_file.read()
-    else:
+    if isinstance(path_or_file, str):
         with open(path_or_file) as fh:
             text = fh.read()
+    else:
+        text = path_or_file.read()
     return [json.loads(line) for line in text.splitlines() if line.strip()]
 
 
@@ -156,8 +169,8 @@ class Obs:
     def __init__(
         self,
         recorder: Optional[TraceRecorder] = None,
-        metrics: Optional[Any] = None,
-        profiler: Optional[Any] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        profiler: Optional[PhaseProfiler] = None,
         protocol: str = "",
     ) -> None:
         self.recorder = recorder

@@ -26,7 +26,7 @@ class Spanner:
     ) -> None:
         self.host = host
         self.edges: Set[Edge] = {canonical_edge(u, v) for u, v in edges}
-        for u, v in self.edges:
+        for u, v in sorted(self.edges):
             if not host.has_edge(u, v):
                 raise ValueError(f"spanner edge {(u, v)} not in host graph")
         self.metadata: Dict[str, Any] = dict(metadata or {})

@@ -202,7 +202,7 @@ def repair_connectivity(
                 repaired.add(e)
 
     uf = UnionFind(host.vertices())
-    for u, v in repaired:
+    for u, v in sorted(repaired):
         uf.union(u, v)
     for u, v in sorted(host.edges()):
         if not uf.connected(u, v):

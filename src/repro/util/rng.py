@@ -9,9 +9,12 @@ uniform and experiments reproducible.
 from __future__ import annotations
 
 import random
-from typing import Union
+from typing import Any, Callable, Union
 
 SeedLike = Union[None, int, random.Random]
+
+#: a shared-randomness pseudo-random function: ``prf(*keys) -> [0, 1)``.
+Prf = Callable[..., float]
 
 
 def ensure_rng(seed: SeedLike = None) -> random.Random:
@@ -26,7 +29,7 @@ def ensure_rng(seed: SeedLike = None) -> random.Random:
     return random.Random(seed)
 
 
-def make_prf(seed: SeedLike = None):
+def make_prf(seed: SeedLike = None) -> Prf:
     """Build a deterministic pseudo-random function ``prf(*keys) -> [0, 1)``.
 
     Distributed algorithms here use *shared randomness*: every processor
@@ -40,7 +43,7 @@ def make_prf(seed: SeedLike = None):
     seed_rng = ensure_rng(seed)
     salt = seed_rng.getrandbits(64).to_bytes(8, "little")
 
-    def prf(*keys) -> float:
+    def prf(*keys: Any) -> float:
         digest = hashlib.sha256(
             salt + ":".join(repr(k) for k in keys).encode()
         ).digest()

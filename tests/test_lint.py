@@ -1,0 +1,414 @@
+"""Tests for repro.lint — the protocol-invariant static analyzer.
+
+One positive + one clean/suppressed fixture per rule (written to
+``tmp_path`` so scoping falls back to "in scope for every rule"), CLI
+exit-code coverage through the in-process entry points, and the
+meta-test that the live ``src`` tree is lint-clean.
+"""
+
+from __future__ import annotations
+
+import io
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    ALL_RULES,
+    Diagnostic,
+    lint_file,
+    lint_paths,
+    parse_suppressions,
+)
+from repro.lint.runner import main as lint_main
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def write(tmp_path: Path, name: str, body: str) -> Path:
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(body), encoding="utf-8")
+    return path
+
+
+def codes(diags) -> list:
+    return [d.code for d in diags]
+
+
+# ----------------------------------------------------------------------
+# REP001 determinism
+# ----------------------------------------------------------------------
+def test_rep001_flags_random_and_time(tmp_path):
+    path = write(
+        tmp_path,
+        "bad_rng.py",
+        """\
+        import random
+        import time
+
+        def jitter():
+            return random.random() + time.time()
+        """,
+    )
+    found = codes(lint_file(path))
+    assert found == ["REP001", "REP001"]
+
+
+def test_rep001_flags_from_imports_and_unseeded_numpy(tmp_path):
+    path = write(
+        tmp_path,
+        "bad_np.py",
+        """\
+        from random import shuffle
+        import numpy as np
+
+        def pick():
+            return np.random.rand()
+        """,
+    )
+    found = codes(lint_file(path))
+    assert found == ["REP001", "REP001"]
+
+
+def test_rep001_allows_util_rng_and_seeded_numpy(tmp_path):
+    path = write(
+        tmp_path,
+        "good_rng.py",
+        """\
+        import numpy as np
+        from repro.util.rng import ensure_rng
+
+        def pick(seed):
+            rng = ensure_rng(seed)
+            gen = np.random.default_rng(seed)
+            return rng.random(), gen.random()
+        """,
+    )
+    assert lint_file(path) == []
+
+
+def test_rep001_suppression_comment(tmp_path):
+    path = write(
+        tmp_path,
+        "suppressed.py",
+        """\
+        import time
+
+        def stamp():
+            return time.time()  # repro-lint: disable=REP001
+        """,
+    )
+    found = codes(lint_file(path))
+    # the call is suppressed; the bare ``import time`` is fine (only
+    # time.time()/time_ns() reads are flagged, not the module import).
+    assert "REP001" not in found
+
+
+# ----------------------------------------------------------------------
+# REP002 simulation honesty
+# ----------------------------------------------------------------------
+def test_rep002_flags_simulator_internals(tmp_path):
+    path = write(
+        tmp_path,
+        "cheat_protocol.py",
+        """\
+        class CheatProgram(NodeProgram):
+            def on_round(self, api):
+                other = api._network._apis[0]
+                return other._outbox
+        """,
+    )
+    found = codes(lint_file(path))
+    assert "REP002" in found
+
+
+def test_rep002_flags_foreign_private_state(tmp_path):
+    path = write(
+        tmp_path,
+        "peek_protocol.py",
+        """\
+        class PeekProgram(NodeProgram):
+            def on_round(self, api, neighbor):
+                return neighbor._dist
+        """,
+    )
+    found = codes(lint_file(path))
+    assert "REP002" in found
+
+
+def test_rep002_allows_self_state_and_messages(tmp_path):
+    path = write(
+        tmp_path,
+        "honest_protocol.py",
+        """\
+        class HonestProgram(NodeProgram):
+            def on_round(self, api):
+                for src, payload in api.recv():
+                    self._dist = min(self._dist, payload + 1)
+                api.broadcast(self._dist)
+        """,
+    )
+    assert lint_file(path) == []
+
+
+def test_rep002_only_scopes_protocol_files(tmp_path):
+    # same cheating code, but not in a *_protocol.py file and not in a
+    # NodeProgram subclass -> driver code, out of scope.
+    path = write(
+        tmp_path,
+        "driver.py",
+        """\
+        def harvest(network):
+            return [api._outbox for api in network._apis.values()]
+        """,
+    )
+    assert "REP002" not in codes(lint_file(path))
+
+
+# ----------------------------------------------------------------------
+# REP003 message discipline
+# ----------------------------------------------------------------------
+def test_rep003_flags_set_and_dict_payloads(tmp_path):
+    path = write(
+        tmp_path,
+        "wire.py",
+        """\
+        def talk(api, nbrs):
+            api.send(1, {2, 3})
+            api.broadcast({"d": 4})
+            api.send(2, (1, set(nbrs)))
+        """,
+    )
+    found = codes(lint_file(path))
+    assert found == ["REP003", "REP003", "REP003"]
+
+
+def test_rep003_flags_generator_and_lambda_payloads(tmp_path):
+    path = write(
+        tmp_path,
+        "wire2.py",
+        """\
+        def talk(api, nbrs):
+            api.broadcast(x + 1 for x in nbrs)
+            api.send(1, payload=lambda: 3)
+        """,
+    )
+    assert codes(lint_file(path)) == ["REP003", "REP003"]
+
+
+def test_rep003_allows_ordered_payloads(tmp_path):
+    path = write(
+        tmp_path,
+        "wire_ok.py",
+        """\
+        def talk(api, nbrs):
+            api.send(1, (0, "ball", tuple(sorted(nbrs))))
+            api.broadcast(None)
+        """,
+    )
+    assert lint_file(path) == []
+
+
+# ----------------------------------------------------------------------
+# REP004 obs guard
+# ----------------------------------------------------------------------
+def test_rep004_flags_unguarded_obs_call(tmp_path):
+    path = write(
+        tmp_path,
+        "unguarded.py",
+        """\
+        def run(graph, obs=None):
+            obs.emit("start", n=graph.n)
+        """,
+    )
+    assert codes(lint_file(path)) == ["REP004"]
+
+
+def test_rep004_accepts_guarded_calls(tmp_path):
+    path = write(
+        tmp_path,
+        "guarded.py",
+        """\
+        def run(graph, obs=None):
+            if obs is not None:
+                obs.emit("start", n=graph.n)
+            if obs is not None and graph.n > 2:
+                obs.emit("big")
+            if obs is None:
+                return
+            obs.emit("end")
+        """,
+    )
+    assert lint_file(path) == []
+
+
+# ----------------------------------------------------------------------
+# REP005 iteration order
+# ----------------------------------------------------------------------
+def test_rep005_flags_bare_set_iteration(tmp_path):
+    path = write(
+        tmp_path,
+        "iter_bad.py",
+        """\
+        def walk(edges):
+            live = {v for u, v in edges}
+            for v in live:
+                yield v
+        """,
+    )
+    assert codes(lint_file(path)) == ["REP005"]
+
+
+def test_rep005_accepts_sorted_iteration(tmp_path):
+    path = write(
+        tmp_path,
+        "iter_ok.py",
+        """\
+        def walk(edges):
+            live = {v for u, v in edges}
+            for v in sorted(live):
+                yield v
+        """,
+    )
+    assert lint_file(path) == []
+
+
+def test_rep005_sorted_reassignment_vetoes(tmp_path):
+    # flow-insensitive inference must not flag a name that was visibly
+    # rebound to an ordered value before the loop.
+    path = write(
+        tmp_path,
+        "iter_rebound.py",
+        """\
+        def walk(edges):
+            points = {v for u, v in edges}
+            points = sorted(points)
+            for v in points:
+                yield v
+        """,
+    )
+    assert lint_file(path) == []
+
+
+def test_rep005_flags_comprehension_over_set_param(tmp_path):
+    path = write(
+        tmp_path,
+        "iter_param.py",
+        """\
+        from typing import Set
+
+        def labels(active: Set[int]):
+            return [v * 2 for v in active]
+        """,
+    )
+    assert codes(lint_file(path)) == ["REP005"]
+
+
+# ----------------------------------------------------------------------
+# Suppressions / REP000
+# ----------------------------------------------------------------------
+def test_file_wide_suppression(tmp_path):
+    path = write(
+        tmp_path,
+        "whole_file.py",
+        """\
+        # repro-lint: disable-file=REP001
+        import time
+
+        def a():
+            return time.time()
+
+        def b():
+            return time.time()
+        """,
+    )
+    assert lint_file(path) == []
+
+
+def test_rep000_on_syntax_error(tmp_path):
+    path = write(tmp_path, "broken.py", "def oops(:\n")
+    found = lint_file(path)
+    assert codes(found) == ["REP000"]
+    assert "does not parse" in found[0].message
+
+
+def test_parse_suppressions_tolerates_garbage():
+    sup = parse_suppressions("x = (")
+    assert not sup.active(1, "REP001")
+
+
+# ----------------------------------------------------------------------
+# Runner / CLI
+# ----------------------------------------------------------------------
+def test_diagnostic_render_format():
+    d = Diagnostic(path="a.py", line=3, col=7, code="REP001", message="m")
+    assert d.render() == "a.py:3:7: REP001 m"
+
+
+def test_lint_paths_missing_path_raises():
+    with pytest.raises(FileNotFoundError):
+        lint_paths(["/no/such/dir/anywhere"])
+
+
+def test_cli_exit_codes(tmp_path):
+    bad = write(tmp_path, "bad.py", "import time\nt = time.time()\n")
+    out = io.StringIO()
+    assert lint_main([str(bad)], out=out) == 1
+    text = out.getvalue()
+    assert "REP001" in text and "finding(s)" in text
+
+    good = write(tmp_path, "good.py", "x = 1\n")
+    assert lint_main([str(good)], out=io.StringIO()) == 0
+
+    # unknown --select code and missing path are usage errors (exit 2).
+    assert lint_main(["--select", "REP999", str(good)], out=io.StringIO()) == 2
+    assert lint_main([str(tmp_path / "missing.py")], out=io.StringIO()) == 2
+
+
+def test_cli_select_narrows_rules(tmp_path):
+    path = write(
+        tmp_path,
+        "two.py",
+        """\
+        import time
+
+        def f(s):
+            t = time.time()
+            return [x for x in {1, 2, 3}]
+        """,
+    )
+    out = io.StringIO()
+    assert lint_main(["--select", "REP005", str(path)], out=out) == 1
+    assert "REP005" in out.getvalue()
+    assert "REP001" not in out.getvalue()
+
+
+def test_cli_list_rules():
+    out = io.StringIO()
+    assert lint_main(["--list-rules"], out=out) == 0
+    text = out.getvalue()
+    for rule in ALL_RULES:
+        assert rule.code in text
+
+
+def test_module_entry_point_lists_lint():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0
+    assert "lint" in result.stdout
+
+
+# ----------------------------------------------------------------------
+# Meta-test: the live tree is lint-clean
+# ----------------------------------------------------------------------
+def test_live_src_is_lint_clean():
+    findings = lint_paths([str(SRC)])
+    rendered = "\n".join(d.render() for d in findings)
+    assert findings == [], f"src/ has lint findings:\n{rendered}"

@@ -1,0 +1,98 @@
+"""Property test: REP003's static payload model agrees with util/words.
+
+:func:`repro.lint.static_payload_words` predicts, from a payload's AST,
+the word count :func:`repro.util.words.message_words` will charge at run
+time.  The two are independent implementations of the same accounting
+(Sect. 1.1's O(log n)-bit word convention), so we pin them together: for
+random payloads built from the sanctioned grammar, parsing ``repr(p)``
+and evaluating the static model must reproduce ``message_words(p)``
+exactly.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lint import static_payload_words
+from repro.util.words import message_words
+
+
+def static_words_of(payload: object) -> object:
+    """Parse ``repr(payload)`` and apply the static model."""
+    expr = ast.parse(repr(payload), mode="eval").body
+    return static_payload_words(expr)
+
+
+# The sanctioned payload grammar (what REP003 asks protocols to send):
+# None / bool / int / float / str scalars nested in tuples and lists.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10 ** 9), max_value=10 ** 9),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=8),
+)
+
+ordered_payloads = st.recursive(
+    scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4).map(tuple),
+        st.lists(inner, max_size=4),
+    ),
+    max_leaves=16,
+)
+
+
+@given(ordered_payloads)
+def test_static_model_matches_runtime_on_ordered_payloads(payload):
+    assert static_words_of(payload) == message_words(payload)
+
+
+# The *discouraged* containers still have well-defined word counts
+# (message_words sums them), and the static model must agree where the
+# repr round-trips through a literal: non-empty sets/frozensets and
+# dicts.  (``set()``/``frozenset()`` reprs are constructor calls the
+# static model declines to guess about.)
+hashable_scalars = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(10 ** 6), max_value=10 ** 6),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=6),
+)
+
+
+@given(st.sets(hashable_scalars, min_size=1, max_size=5))
+def test_static_model_matches_runtime_on_sets(payload):
+    assert static_words_of(payload) == message_words(payload)
+
+
+@given(st.frozensets(hashable_scalars, min_size=1, max_size=5))
+def test_static_model_matches_runtime_on_frozensets(payload):
+    assert static_words_of(payload) == message_words(payload)
+
+
+@given(
+    st.dictionaries(
+        hashable_scalars,
+        st.one_of(scalars, st.lists(scalars, max_size=3).map(tuple)),
+        max_size=5,
+    )
+)
+def test_static_model_matches_runtime_on_dicts(payload):
+    assert static_words_of(payload) == message_words(payload)
+
+
+def test_static_model_exact_counts():
+    assert static_words_of(None) == 0
+    assert static_words_of((0, "ball", 7)) == 3
+    assert static_words_of(((1, 2), [3.5, None], "x")) == 4
+    assert message_words((0, "ball", 7)) == 3
+
+
+def test_static_model_declines_dynamic_expressions():
+    for source in ("x", "f()", "a + b", "nbrs[0]", "(1, x)"):
+        expr = ast.parse(source, mode="eval").body
+        assert static_payload_words(expr) is None

@@ -1,0 +1,33 @@
+"""The mypy strict-core gate, as a test.
+
+``pyproject.toml``'s ``[tool.mypy]`` block pins ``util/``, ``core/``,
+``obs/``, ``lint/`` and the simulator/primitives modules to strict
+typing.  CI runs this via the dedicated ``typecheck`` job; locally the
+test simply skips when mypy is not installed (``pip install -e .[dev]``
+to get it).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+mypy = pytest.importorskip("mypy")  # noqa: F841  (install via .[dev])
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_strict_core_passes_mypy():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, (
+        "mypy strict-core gate failed:\n"
+        f"{result.stdout}\n{result.stderr}"
+    )
