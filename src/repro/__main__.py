@@ -20,6 +20,12 @@ Trace tooling (see ``docs/observability.md``)::
 Static analysis (see ``docs/static_analysis.md``)::
 
     python -m repro lint [paths] [--select CODES] [--list-rules]
+
+Benchmarks (see ``docs/performance.md``)::
+
+    python -m repro bench [--smoke] [--out PATH] [--jobs N] [--reps N]
+                          [--baseline PATH] [--threshold F]
+                          [--min-wall S] [--list]
 """
 
 from __future__ import annotations
@@ -197,6 +203,9 @@ subcommands:
         invariants; exit 1 on findings) -- docs/static_analysis.md
   trace {record,summary,diff,filter} ...
         record and inspect simulator traces -- docs/observability.md
+  bench [--smoke] [--out PATH] [--baseline PATH] ...
+        run the simulator benchmark matrix in parallel and emit/compare
+        BENCH_*.json reports (exit 1 on regression) -- docs/performance.md
   [n] [p] [seed]
         (no subcommand) print the measured Fig. 1 comparison table on
         an Erdos-Renyi host G(n, p) (defaults: n=400 p=0.08 seed=2008)
@@ -216,6 +225,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.lint.runner import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.perf.cli import main as bench_main
+
+        return bench_main(argv[1:])
     return _fig1(argv)
 
 

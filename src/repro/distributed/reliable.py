@@ -105,15 +105,18 @@ class _VirtualApi:
         return self._real.n
 
     def send(self, dst: int, payload: Any) -> None:
-        if not self._real._network.graph.has_edge(self.node_id, dst):
+        if dst not in self._real._nbr_set:
             raise ProtocolError(
                 f"node {self.node_id} tried to message non-neighbor {dst}"
             )
         self._outbox.append((dst, payload))
 
     def broadcast(self, payload: Any) -> None:
-        for u in self.neighbors:
-            self.send(u, payload)
+        # Recipients come from the validated neighbor list — no
+        # per-edge membership re-check (mirrors Api.broadcast).
+        outbox = self._outbox
+        for u in self._real.neighbors:
+            outbox.append((u, payload))
 
     def halt(self) -> None:
         self._halted = True

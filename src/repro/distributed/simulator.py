@@ -15,12 +15,26 @@ into one message whose width is the sum), and records round, message and
 width statistics.  A cap can be enforced (``strict=True`` raises
 :class:`ProtocolError`) or merely audited (violations counted) — the
 latter is how benches *observe* a protocol's message-length requirement.
+
+Hot path (see ``docs/performance.md``): the vertex order and per-node
+sorted neighbor lists are computed once at construction; halted nodes
+are skipped via an incrementally maintained active list rather than
+scanned; payload word counts are memoized
+(:class:`repro.util.words.WordCounter`); and because senders are
+collected in ascending vertex order, each inbox bucket is *already*
+src-sorted on the clean path, so the per-node ``sorted()`` call is paid
+only when a fault plan can perturb delivery order.  ``run()`` dispatches
+to a specialized inner loop when ``fault_plan is None and obs is None``
+— the configuration every benchmark measures — so clean runs pay zero
+per-message branching for faults or observability.  The optimized and
+generic loops are pinned identical by ``tests/test_engine_equivalence
+.py`` and the byte-identical trace oracle of ``repro trace diff``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.distributed.faults import (
     CRASH_DROP,
@@ -32,7 +46,7 @@ from repro.distributed.faults import (
     FaultPlan,
 )
 from repro.graphs.graph import Graph
-from repro.util.words import message_words
+from repro.util.words import WordCounter
 
 
 class ProtocolError(RuntimeError):
@@ -140,18 +154,24 @@ class NetworkStats:
 class Api:
     """Per-node handle passed into the node program each round."""
 
-    __slots__ = ("_network", "node_id", "_outbox", "_halted")
+    __slots__ = (
+        "_network", "node_id", "_outbox", "_halted", "_nbrs", "_nbr_set"
+    )
 
     def __init__(self, network: "Network", node_id: int) -> None:
         self._network = network
         self.node_id = node_id
         self._outbox: List[Tuple[int, Any]] = []
         self._halted = False
+        #: cached at construction: the sorted neighbor list (delivery
+        #: determinism) and the adjacency set (O(1) send validation).
+        self._nbrs = network.sorted_neighbors(node_id)
+        self._nbr_set = network.graph.neighbors(node_id)
 
     @property
-    def neighbors(self) -> Iterable[int]:
+    def neighbors(self) -> List[int]:
         """This node's neighbor identifiers (sorted, deterministic)."""
-        return self._network.sorted_neighbors(self.node_id)
+        return self._nbrs
 
     @property
     def n(self) -> int:
@@ -160,24 +180,30 @@ class Api:
 
     def send(self, dst: int, payload: Any) -> None:
         """Queue ``payload`` for delivery to neighbor ``dst`` next round."""
-        if not self._network.graph.has_edge(self.node_id, dst):
+        if dst not in self._nbr_set:
             raise ProtocolError(
                 f"node {self.node_id} tried to message non-neighbor {dst}"
             )
         self._outbox.append((dst, payload))
 
     def broadcast(self, payload: Any) -> None:
-        """Send ``payload`` to every neighbor."""
-        for u in self.neighbors:
-            self.send(u, payload)
+        """Send ``payload`` to every neighbor.
+
+        The recipients come from the cached neighbor list, so no
+        per-edge membership validation is re-done (every entry is a
+        neighbor by construction); a direct ``send`` still validates.
+        """
+        self._outbox += [(u, payload) for u in self._nbrs]
 
     def halt(self) -> None:
         """Stop participating; the node receives no further rounds."""
         if not self._halted:
             self._halted = True
-            obs = self._network.obs
-            if obs is not None:
-                obs.on_halt(self._network.stats.rounds, self.node_id)
+            network = self._network
+            network._halted_count += 1
+            network._active_dirty = True
+            if network.obs is not None:
+                network.obs.on_halt(network.stats.rounds, self.node_id)
 
 
 class NodeProgram:
@@ -243,8 +269,27 @@ class Network:
         self.fault_log_limit = (
             fault_plan.max_logged_events if fault_plan is not None else 256
         )
-        self._apis = {v: Api(self, v) for v in graph.vertices()}
-        self._sorted_nbrs: Dict[int, List[int]] = {}
+        #: hot-path state, computed once: ascending vertex order and the
+        #: per-node sorted neighbor lists (never re-sorted per round).
+        self._order: List[int] = sorted(graph.vertices())
+        self._sorted_nbrs: Dict[int, List[int]] = {
+            v: sorted(graph.neighbors(v)) for v in self._order
+        }
+        self._apis = {v: Api(self, v) for v in self._order}
+        #: (vertex, api, program) triples in delivery order — the round
+        #: loop and outbox collection iterate this instead of re-sorting
+        #: the api dict every round.
+        self._pairs: List[Tuple[int, Api, NodeProgram]] = [
+            (v, self._apis[v], self.programs[v]) for v in self._order
+        ]
+        #: halt bookkeeping: ``all_halted`` is an O(1) counter check and
+        #: the active list is rebuilt lazily (only on halt transitions)
+        #: so halted nodes are skipped, not scanned, every round.
+        self._halted_count = 0
+        self._active_dirty = True
+        self._active: List[Tuple[Api, NodeProgram]] = []
+        #: memoized payload word counts (payload structure -> words).
+        self._words = WordCounter()
         #: messages in flight: dst -> list of (src, payload).
         self._pending: Dict[int, List[Tuple[int, Any]]] = {}
         #: fault-delayed messages: delivery round -> [(dst, src, payload)].
@@ -260,13 +305,27 @@ class Network:
             self.obs.on_fault(event)
 
     def sorted_neighbors(self, v: int) -> List[int]:
-        if v not in self._sorted_nbrs:
-            self._sorted_nbrs[v] = sorted(self.graph.neighbors(v))
         return self._sorted_nbrs[v]
+
+    def _active_pairs(self) -> List[Tuple[Api, NodeProgram]]:
+        """(api, program) pairs of unhalted nodes, in vertex order.
+
+        Rebuilt only when a node halts; nodes halting *during* a round
+        keep their position until the next rebuild (a node only ever
+        halts itself, so the running round's iteration is unaffected).
+        """
+        if self._active_dirty:
+            self._active = [
+                (api, program)
+                for _, api, program in self._pairs
+                if not api._halted
+            ]
+            self._active_dirty = False
+        return self._active
 
     @property
     def all_halted(self) -> bool:
-        return all(api._halted for api in self._apis.values())
+        return self._halted_count == len(self._apis)
 
     @property
     def in_flight(self) -> bool:
@@ -276,43 +335,112 @@ class Network:
     def _collect_outboxes(self) -> None:
         """Merge this round's sends into next round's inboxes + account.
 
-        Two passes: the first validates every slot against the strict
+        Senders are iterated in ascending vertex order, so every inbox
+        bucket comes out already sorted by source — the invariant that
+        lets the clean delivery path skip per-node inbox sorting.
+
+        Under ``strict`` a first pass validates every slot against the
         cap *before* anything is counted or queued, so a
         :class:`ProtocolError` leaves stats, outboxes and in-flight
-        messages exactly as they were.
+        messages exactly as they were.  The non-strict path (every
+        benchmark and protocol run) is a single pass with locally
+        accumulated counters.
         """
-        staged: List[Tuple[int, int, List[Any], int]] = []
-        for v in sorted(self._apis):
-            api = self._apis[v]
-            if not api._outbox:
-                continue
-            per_dst: Dict[int, List[Any]] = {}
-            for dst, payload in api._outbox:
-                per_dst.setdefault(dst, []).append(payload)
-            for dst, payloads in per_dst.items():
-                words = sum(message_words(p) for p in payloads)
-                if (
-                    self.strict
-                    and self.stats.cap is not None
-                    and words > self.stats.cap
-                ):
-                    raise ProtocolError(
-                        f"node {v} sent {words} words to {dst}, "
-                        f"cap is {self.stats.cap}"
-                    )
-                staged.append((v, dst, payloads, words))
-        next_pending: Dict[int, List[Tuple[int, Any]]] = {}
+        stats = self.stats
         obs = self.obs
-        send_round = self.stats.rounds
-        for v, dst, payloads, words in staged:
-            self.stats.observe(words)
-            if obs is not None:
-                obs.on_send(send_round, v, dst, words, payloads)
-            bucket = next_pending.setdefault(dst, [])
-            for payload in payloads:
-                bucket.append((v, payload))
-        for api in self._apis.values():
+        words_of = self._words
+        cap = stats.cap
+        send_round = stats.rounds
+        next_pending: Dict[int, List[Tuple[int, Any]]] = {}
+        if self.strict and cap is not None:
+            staged: List[Tuple[int, int, List[Any], int]] = []
+            for v, api, _ in self._pairs:
+                if not api._outbox:
+                    continue
+                per_dst: Dict[int, List[Any]] = {}
+                for dst, payload in api._outbox:
+                    per_dst.setdefault(dst, []).append(payload)
+                for dst, payloads in per_dst.items():
+                    words = 0
+                    for payload in payloads:
+                        words += words_of(payload)
+                    if words > cap:
+                        raise ProtocolError(
+                            f"node {v} sent {words} words to {dst}, "
+                            f"cap is {cap}"
+                        )
+                    staged.append((v, dst, payloads, words))
+            for v, dst, payloads, words in staged:
+                stats.observe(words)
+                if obs is not None:
+                    obs.on_send(send_round, v, dst, words, payloads)
+                bucket = next_pending.setdefault(dst, [])
+                for payload in payloads:
+                    bucket.append((v, payload))
+            for _, api, _ in self._pairs:
+                api._outbox = []
+            self._pending = next_pending
+            return
+        messages = 0
+        total_words = 0
+        max_words = stats.max_message_words
+        violations = 0
+        words_cache = words_of._cache
+        for v, api, _ in self._pairs:
+            outbox = api._outbox
+            if not outbox:
+                continue
             api._outbox = []
+            if len({dst for dst, _ in outbox}) == len(outbox):
+                # No two sends share a destination (the overwhelmingly
+                # common case): each outbox entry is its own slot — no
+                # per-destination dict-of-lists to build and unwind.
+                for dst, payload in outbox:
+                    try:
+                        words = words_cache[payload]
+                    except (KeyError, TypeError):
+                        words = words_of(payload)
+                    messages += 1
+                    total_words += words
+                    if words > max_words:
+                        max_words = words
+                    if cap is not None and words > cap:
+                        violations += 1
+                    if obs is not None:
+                        obs.on_send(send_round, v, dst, words, [payload])
+                    bucket = next_pending.get(dst)
+                    if bucket is None:
+                        bucket = next_pending[dst] = []
+                    bucket.append((v, payload))
+                continue
+            per_dst = {}
+            for dst, payload in outbox:
+                bucket_p = per_dst.get(dst)
+                if bucket_p is None:
+                    per_dst[dst] = [payload]
+                else:
+                    bucket_p.append(payload)
+            for dst, payloads in per_dst.items():
+                words = 0
+                for payload in payloads:
+                    words += words_of(payload)
+                messages += 1
+                total_words += words
+                if words > max_words:
+                    max_words = words
+                if cap is not None and words > cap:
+                    violations += 1
+                if obs is not None:
+                    obs.on_send(send_round, v, dst, words, payloads)
+                bucket = next_pending.get(dst)
+                if bucket is None:
+                    bucket = next_pending[dst] = []
+                for payload in payloads:
+                    bucket.append((v, payload))
+        stats.messages += messages
+        stats.total_words += total_words
+        stats.max_message_words = max_words
+        stats.violations += violations
         self._pending = next_pending
 
     def _apply_faults(
@@ -383,44 +511,104 @@ class Network:
         short-circuits once no messages are in flight — a simulation
         speed-up for phases whose synchronous budget far exceeds the
         actual traffic (the budget is reported separately by callers).
+
+        Dispatches to a specialized inner loop when neither fault
+        injection nor observability is attached — the clean benchmark
+        configuration pays no per-round fault/obs branching.  Both loops
+        are pinned to identical :class:`NetworkStats` and protocol
+        outputs by ``tests/test_engine_equivalence.py``.
         """
-        plan = self.fault_plan
+        if self.fault_plan is None and self.obs is None:
+            return self._run_clean(max_rounds, stop_when_idle)
+        return self._run_general(max_rounds, stop_when_idle)
+
+    def _run_clean(
+        self, max_rounds: int, stop_when_idle: bool
+    ) -> NetworkStats:
+        """The fault-free, unobserved inner loop (the hot path).
+
+        Inboxes are handed to programs exactly as collected: buckets are
+        built by iterating senders in ascending vertex order, so each is
+        already src-sorted and no per-node ``sorted()`` is needed.
+        """
         if not self._setup_done:
-            for v in sorted(self._apis):
-                if plan is not None and plan.is_crashed(v, 0):
-                    continue
-                self.programs[v].setup(self._apis[v])
+            for _, api, program in self._pairs:
+                program.setup(api)
             self._collect_outboxes()
             self._setup_done = True
+        stats = self.stats
+        total = len(self._apis)
         for _ in range(max_rounds):
-            if self.all_halted:
+            if self._halted_count == total:
                 break
-            self.stats.rounds += 1
-            round_no = self.stats.rounds
-            if self.obs is not None:
-                self.obs.on_round(round_no)
+            stats.rounds += 1
+            round_no = stats.rounds
+            pending, self._pending = self._pending, {}
+            get_inbox = pending.get
+            for api, program in self._active_pairs():
+                inbox = get_inbox(api.node_id)
+                program.on_round(
+                    api, round_no, inbox if inbox is not None else []
+                )
+            self._collect_outboxes()
+            if stop_when_idle and not self._pending and not self._delayed:
+                break
+        return stats
+
+    def _run_general(
+        self, max_rounds: int, stop_when_idle: bool
+    ) -> NetworkStats:
+        """The full inner loop: fault injection and/or observability.
+
+        Inbox buckets leave ``_collect_outboxes`` src-sorted; only a
+        fault plan can perturb that (delayed arrivals are appended after
+        their bucket), so the re-sort is paid exactly when a plan is
+        attached — and the stable sort makes the merged order identical
+        to the pre-optimization engine's unconditional sort.
+        """
+        plan = self.fault_plan
+        obs = self.obs
+        if not self._setup_done:
+            for v, api, program in self._pairs:
+                if plan is not None and plan.is_crashed(v, 0):
+                    continue
+                program.setup(api)
+            self._collect_outboxes()
+            self._setup_done = True
+        stats = self.stats
+        total = len(self._apis)
+        for _ in range(max_rounds):
+            if self._halted_count == total:
+                break
+            stats.rounds += 1
+            round_no = stats.rounds
+            if obs is not None:
+                obs.on_round(round_no)
             pending, self._pending = self._pending, {}
             if plan is not None:
                 pending = self._apply_faults(round_no, pending)
-            for v in sorted(self._apis):
-                api = self._apis[v]
-                if api._halted:
-                    continue
+            for api, program in self._active_pairs():
+                v = api.node_id
                 if plan is not None and plan.is_crashed(v, round_no):
                     continue
-                inbox = sorted(pending.get(v, ()), key=lambda sp: sp[0])
-                if plan is not None:
-                    perm = plan.reorder_permutation(
-                        round_no, v, len(inbox)
-                    )
-                    if perm is not None:
-                        inbox = [inbox[i] for i in perm]
-                        self.stats.reordered += 1
-                        self._record_fault(
-                            FaultEvent(REORDER, round_no, dst=v,
-                                       info=len(inbox))
+                raw = pending.get(v)
+                if raw is None:
+                    inbox: List[Tuple[int, Any]] = []
+                else:
+                    inbox = raw
+                    if plan is not None:
+                        inbox = sorted(inbox, key=lambda sp: sp[0])
+                        perm = plan.reorder_permutation(
+                            round_no, v, len(inbox)
                         )
-                self.programs[v].on_round(api, round_no, inbox)
+                        if perm is not None:
+                            inbox = [inbox[i] for i in perm]
+                            stats.reordered += 1
+                            self._record_fault(
+                                FaultEvent(REORDER, round_no, dst=v,
+                                           info=len(inbox))
+                            )
+                program.on_round(api, round_no, inbox)
             self._collect_outboxes()
             if stop_when_idle and not self.in_flight:
                 break

@@ -28,7 +28,12 @@ __all__ = [
 #: scope): the sequential core, the protocols, the graph layer and the
 #: spanner layer.  ``util/`` hosts the sanctioned RNG plumbing and
 #: ``analysis``/``baselines``/``obs`` are off the simulated network.
-ALGORITHMIC_PACKAGES = frozenset({"core", "distributed", "graphs", "spanner"})
+#: ``perf/`` is included so the benchmark harness can never introduce
+#: unseeded randomness or wall-clock reads other than ``perf_counter``
+#: into its workload construction — benchmark cells must replay exactly.
+ALGORITHMIC_PACKAGES = frozenset(
+    {"core", "distributed", "graphs", "spanner", "perf"}
+)
 
 
 class FileContext:

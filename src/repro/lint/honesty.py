@@ -14,8 +14,9 @@ statically bans, *inside NodeProgram subclasses of protocol modules*
   is not ``self``);
 * any reference to simulator internals (``_pending``, ``_apis``,
   ``_outbox``, ``_delayed``, ``_sorted_nbrs``, ``_setup_done``,
-  ``_halted``, ``_network``) anywhere in an attribute chain, even one
-  rooted at ``self``;
+  ``_halted``, ``_network``, ``_nbrs``, ``_nbr_set``, ``_pairs``,
+  ``_active``) anywhere in an attribute chain, even one rooted at
+  ``self``;
 * holding the global objects at all: bare reads of names ``network`` /
   ``simulator`` inside node-program code.
 
@@ -47,6 +48,12 @@ _SIMULATOR_INTERNALS = frozenset(
         "_sorted_nbrs",
         "_setup_done",
         "_halted",
+        # hot-path caches added by the simulator overhaul: the per-api
+        # neighbor list/set and the network's active/pair lists.
+        "_nbrs",
+        "_nbr_set",
+        "_pairs",
+        "_active",
     }
 )
 

@@ -1,0 +1,89 @@
+"""Measuring one workload cell.
+
+:func:`run_cell` builds the cell's host graph, runs the protocol on the
+clean fast path (``obs=None``, no fault plan) ``reps`` times, and keeps
+the *best* wall time — the standard noise-rejection choice for
+microbenchmarks: the minimum over repetitions estimates the true cost,
+while means absorb scheduler jitter.
+
+Counts (rounds / messages / words) are recorded alongside the timing
+and must be identical across reps and across engines: a baseline
+comparison treats any count drift as a correctness failure, not a
+performance regression (see :mod:`repro.perf.compare`).
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+from time import perf_counter
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs.runners import run_traced
+from repro.perf.workloads import WorkloadCell
+
+__all__ = ["CellResult", "run_cell"]
+
+#: one measured cell, as serialized into ``BENCH_*.json``.
+CellResult = Dict[str, Any]
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set size of this process, in KiB.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalize
+    to KiB so reports are comparable.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak // 1024
+    return peak
+
+
+def run_cell(cell: WorkloadCell, reps: int = 2) -> CellResult:
+    """Benchmark ``cell``: best-of-``reps`` wall time plus counts.
+
+    The graph is built once (outside the timed region — generator cost
+    is not simulator cost) and every rep runs the identical
+    deterministic computation, so counts are asserted equal across
+    reps.
+    """
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    graph = cell.build_graph()
+    best_wall = float("inf")
+    counts: Optional[Tuple[int, int, int]] = None
+    for _ in range(reps):
+        start = perf_counter()
+        _, stats = run_traced(cell.protocol, graph, seed=cell.seed, obs=None)
+        wall = perf_counter() - start
+        rep_counts = (stats.rounds, stats.messages, stats.total_words)
+        if counts is None:
+            counts = rep_counts
+        elif counts != rep_counts:
+            raise AssertionError(
+                f"nondeterministic cell {cell.cell_id}: "
+                f"{counts} != {rep_counts}"
+            )
+        if wall < best_wall:
+            best_wall = wall
+    assert counts is not None
+    rounds, messages, words = counts
+    return {
+        "cell_id": cell.cell_id,
+        "protocol": cell.protocol,
+        "graph_kind": cell.graph_kind,
+        "scale": cell.scale,
+        "seed": cell.seed,
+        "n": graph.n,
+        "m": graph.m,
+        "rounds": rounds,
+        "messages": messages,
+        "words": words,
+        "wall_s": round(best_wall, 6),
+        "rounds_per_s": round(rounds / best_wall, 1) if best_wall > 0 else 0.0,
+        "messages_per_s": (
+            round(messages / best_wall, 1) if best_wall > 0 else 0.0
+        ),
+        "peak_rss_kb": _peak_rss_kb(),
+    }

@@ -1,0 +1,61 @@
+"""Fanning the workload matrix across a process pool.
+
+Cells are independent deterministic computations, so they parallelize
+embarrassingly.  Two choices matter for measurement quality:
+
+* ``maxtasksperchild=1`` — each cell runs in a *fresh* worker process,
+  so its ``peak_rss_kb`` reflects that cell alone rather than the
+  high-water mark of whichever cells the worker saw earlier;
+* results are returned in matrix order (``Pool.map`` preserves input
+  order) regardless of completion order, so reports are stable.
+
+``jobs=1`` bypasses ``multiprocessing`` entirely and runs in-process —
+used by the unit tests (no fork needed) and available for debugging
+(``--jobs 1`` keeps tracebacks readable).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from repro.perf.bench import CellResult, run_cell
+from repro.perf.workloads import WorkloadCell
+
+__all__ = ["default_jobs", "run_matrix"]
+
+
+def default_jobs() -> int:
+    """Worker count default: the machine's CPU count (min 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _bench_worker(task: Tuple[WorkloadCell, int]) -> CellResult:
+    """Module-level worker so it pickles under the spawn start method."""
+    cell, reps = task
+    return run_cell(cell, reps=reps)
+
+
+def run_matrix(
+    cells: Sequence[WorkloadCell],
+    jobs: Optional[int] = None,
+    reps: int = 2,
+) -> List[CellResult]:
+    """Benchmark every cell; returns results in ``cells`` order."""
+    if jobs is None:
+        jobs = default_jobs()
+    tasks = [(cell, reps) for cell in cells]
+    if jobs <= 1 or len(cells) <= 1:
+        return [_bench_worker(task) for task in tasks]
+    # The spawn start method (not fork): a forked child *inherits* the
+    # parent's ru_maxrss, so every cell would report the CLI process's
+    # footprint instead of its own.  chunksize=1, or map() batches
+    # several cells per worker and maxtasksperchild counts the batch as
+    # one task — each cell must see a fresh interpreter for its
+    # peak-RSS number to be its own.
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(
+        processes=min(jobs, len(cells)), maxtasksperchild=1
+    ) as pool:
+        return pool.map(_bench_worker, tasks, chunksize=1)

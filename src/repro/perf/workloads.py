@@ -1,0 +1,116 @@
+"""The canonical benchmark workload matrix.
+
+A :class:`WorkloadCell` pins everything a measurement depends on —
+protocol, host family, scale, and seed — so two runs of the same cell
+on the same interpreter execute the *identical* computation (identical
+graph, identical coin flips, identical message schedule) and any
+wall-clock difference is attributable to the engine, not the workload.
+
+Two scales:
+
+* ``smoke`` — small hosts for the CI gate (seconds in total);
+* ``e1`` — the EXPERIMENTS.md E1 operating point (Erdős–Rényi
+  ``G(600, 0.02)``) plus comparable grid/hypercube hosts, for the
+  committed baseline and speedup claims.
+
+The full matrix is a superset of the smoke matrix, so a smoke run can
+always be compared against a committed full-matrix baseline on the
+intersection of cell ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.graphs.generators import erdos_renyi_gnp, grid_2d, hypercube
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "BENCH_PROTOCOLS",
+    "SCALES",
+    "SEEDS",
+    "WorkloadCell",
+    "full_matrix",
+    "smoke_matrix",
+]
+
+#: protocols benchmarked: the paper's two constructions plus the
+#: Baswana–Sen comparison point (the survey/additive baselines are
+#: sequential-dominated and say little about the simulator hot path).
+BENCH_PROTOCOLS: Tuple[str, ...] = ("skeleton", "fibonacci", "baswana_sen")
+
+#: protocol seeds per cell; the graph seed is derived (1000 + seed) so
+#: graph randomness and protocol randomness never share a stream.
+SEEDS: Tuple[int, ...] = (1, 2, 3)
+
+#: host-family parameters per scale.  ``e1`` er matches EXPERIMENTS.md
+#: E1 (n=600, p=0.02); grid/hypercube are sized to comparable n.
+_ER_PARAMS: Dict[str, Tuple[int, float]] = {
+    "smoke": (120, 0.06),
+    "e1": (600, 0.02),
+}
+_GRID_PARAMS: Dict[str, Tuple[int, int]] = {
+    "smoke": (10, 12),
+    "e1": (24, 25),
+}
+_HYPERCUBE_DIM: Dict[str, int] = {"smoke": 7, "e1": 9}
+
+SCALES: Tuple[str, ...] = ("smoke", "e1")
+
+_GRAPH_KINDS: Tuple[str, ...] = ("er", "grid", "hypercube")
+
+
+@dataclass(frozen=True)
+class WorkloadCell:
+    """One benchmark point: a (protocol, host, scale, seed) tuple."""
+
+    protocol: str
+    graph_kind: str
+    scale: str
+    seed: int
+
+    @property
+    def cell_id(self) -> str:
+        """Stable identifier used for baseline comparison joins."""
+        return f"{self.protocol}/{self.graph_kind}/{self.scale}/s{self.seed}"
+
+    @property
+    def graph_seed(self) -> int:
+        return 1000 + self.seed
+
+    def build_graph(self) -> Graph:
+        """Construct this cell's host graph (deterministic per cell)."""
+        if self.graph_kind == "er":
+            n, p = _ER_PARAMS[self.scale]
+            return erdos_renyi_gnp(n, p, seed=self.graph_seed)
+        if self.graph_kind == "grid":
+            rows, cols = _GRID_PARAMS[self.scale]
+            return grid_2d(rows, cols)
+        if self.graph_kind == "hypercube":
+            return hypercube(_HYPERCUBE_DIM[self.scale])
+        raise ValueError(f"unknown graph kind: {self.graph_kind!r}")
+
+
+def _matrix(scales: Tuple[str, ...]) -> List[WorkloadCell]:
+    return [
+        WorkloadCell(protocol, kind, scale, seed)
+        for scale in scales
+        for protocol in BENCH_PROTOCOLS
+        for kind in _GRAPH_KINDS
+        for seed in SEEDS
+    ]
+
+
+def smoke_matrix() -> List[WorkloadCell]:
+    """The CI-gate matrix: every cell at ``smoke`` scale."""
+    return _matrix(("smoke",))
+
+
+def full_matrix() -> List[WorkloadCell]:
+    """The baseline matrix: smoke cells plus the ``e1`` operating point.
+
+    Strictly contains :func:`smoke_matrix`, so smoke runs always find
+    their cells in a committed full baseline.
+    """
+    return _matrix(SCALES)

@@ -9,7 +9,7 @@ uniform and experiments reproducible.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Union
+from typing import Any, Callable, Dict, Tuple, Union
 
 SeedLike = Union[None, int, random.Random]
 
@@ -43,11 +43,34 @@ def make_prf(seed: SeedLike = None) -> Prf:
     seed_rng = ensure_rng(seed)
     salt = seed_rng.getrandbits(64).to_bytes(8, "little")
 
+    sha256 = hashlib.sha256
+    # Shared-randomness protocols re-evaluate the same (round, center)
+    # coins at every node, so key tuples repeat heavily; prf is a pure
+    # function of (salt, keys), so memoizing it cannot change any
+    # sampling decision.  Bounded like WordCounter: cleared wholesale at
+    # the cap rather than evicted.
+    cache: Dict[Tuple[Any, ...], float] = {}
+
     def prf(*keys: Any) -> float:
-        digest = hashlib.sha256(
-            salt + ":".join(repr(k) for k in keys).encode()
-        ).digest()
-        return int.from_bytes(digest[:8], "little") / 2**64
+        try:
+            hit = cache.get(keys)
+        except TypeError:  # unhashable key — compute directly
+            hit = None
+        else:
+            if hit is not None:
+                return hit
+        # map(repr, ...) keeps the digest input — hence every sampling
+        # decision ever recorded in a trace — bit-identical to the
+        # original generator-expression form, at lower call overhead.
+        digest = sha256(salt + ":".join(map(repr, keys)).encode()).digest()
+        value = int.from_bytes(digest[:8], "little") / 2**64
+        try:
+            if len(cache) >= 1 << 16:
+                cache.clear()
+            cache[keys] = value
+        except TypeError:
+            pass
+        return value
 
     return prf
 

@@ -15,7 +15,7 @@ Anything else costs 1 word per occurrence (opaque token).
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Dict
 
 
 def message_words(payload: Any) -> int:
@@ -25,9 +25,47 @@ def message_words(payload: Any) -> int:
     if isinstance(payload, (int, float, bool, str)):
         return 1
     if isinstance(payload, (tuple, list, set, frozenset)):
-        return sum(message_words(item) for item in payload)
+        return sum(map(message_words, payload))
     if isinstance(payload, dict):
         return sum(
             message_words(k) + message_words(v) for k, v in payload.items()
         )
     return 1
+
+
+class WordCounter:
+    """Memoizing :func:`message_words` for the simulator's send path.
+
+    Protocol payloads repeat heavily across rounds (the same broadcast
+    token, the same candidate tuple), so the recursive walk is paid once
+    per distinct payload instead of once per send.  Only hashable
+    payloads are cached — unhashable ones (lists, dicts) fall through to
+    a direct computation; since :func:`message_words` depends only on
+    payload structure, equal payloads always have equal word counts and
+    the cache can never disagree with the direct walk (pinned by
+    ``tests/test_payload_words_property.py`` against both
+    ``message_words`` and ``lint.messages.static_payload_words``).
+
+    The cache is bounded: at ``max_entries`` it is cleared wholesale
+    rather than evicted, so a pathological payload stream degrades to
+    the uncached cost instead of growing memory without limit.
+    """
+
+    __slots__ = ("_cache", "max_entries")
+
+    def __init__(self, max_entries: int = 1 << 16) -> None:
+        self._cache: Dict[Any, int] = {}
+        self.max_entries = max_entries
+
+    def __call__(self, payload: Any) -> int:
+        cache = self._cache
+        try:
+            words = cache.get(payload)
+        except TypeError:  # unhashable payload — compute directly
+            return message_words(payload)
+        if words is None:
+            words = message_words(payload)
+            if len(cache) >= self.max_entries:
+                cache.clear()
+            cache[payload] = words
+        return words

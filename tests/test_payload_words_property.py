@@ -17,7 +17,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.lint import static_payload_words
-from repro.util.words import message_words
+from repro.util.words import WordCounter, message_words
 
 
 def static_words_of(payload: object) -> object:
@@ -96,3 +96,30 @@ def test_static_model_declines_dynamic_expressions():
     for source in ("x", "f()", "a + b", "nbrs[0]", "(1, x)"):
         expr = ast.parse(source, mode="eval").body
         assert static_payload_words(expr) is None
+
+
+# The simulator's memoizing WordCounter (the hot-path wrapper around
+# message_words) must be observationally identical to the plain walk —
+# on first sight (cache miss), on repeat calls (cache hit), and on
+# unhashable payloads (cache bypass).
+@given(st.lists(ordered_payloads, min_size=1, max_size=6))
+def test_word_counter_matches_message_words(payloads):
+    counter = WordCounter()
+    for _ in range(2):  # second pass exercises the cache-hit path
+        for payload in payloads:
+            assert counter(payload) == message_words(payload)
+
+
+@given(st.lists(scalars, max_size=4))
+def test_word_counter_handles_unhashable_payloads(items):
+    counter = WordCounter()
+    payload = [items, {0: items}]  # unhashable at top level
+    assert counter(payload) == message_words(payload)
+    assert counter(payload) == message_words(payload)
+
+
+def test_word_counter_cache_bound_clears_not_grows():
+    counter = WordCounter(max_entries=4)
+    for value in range(20):
+        assert counter(value) == 1
+        assert len(counter._cache) <= 4

@@ -1,0 +1,212 @@
+"""Tests for the benchmark harness (repro.perf / `python -m repro bench`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import (
+    WorkloadCell,
+    compare_reports,
+    full_matrix,
+    run_cell,
+    run_matrix,
+    smoke_matrix,
+)
+from repro.perf.cli import build_report, main as bench_main
+
+
+class TestWorkloadMatrix:
+    def test_cell_ids_unique(self):
+        ids = [cell.cell_id for cell in full_matrix()]
+        assert len(ids) == len(set(ids))
+
+    def test_smoke_is_subset_of_full(self):
+        # CI smoke runs must always find their cells in a committed
+        # full-matrix baseline.
+        full_ids = {cell.cell_id for cell in full_matrix()}
+        for cell in smoke_matrix():
+            assert cell.cell_id in full_ids
+        assert len(smoke_matrix()) < len(full_matrix())
+
+    def test_graphs_deterministic_per_cell(self):
+        for cell in smoke_matrix()[:3]:
+            a, b = cell.build_graph(), cell.build_graph()
+            assert a.n == b.n and a.m == b.m
+            assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_unknown_graph_kind_rejected(self):
+        bad = WorkloadCell("skeleton", "torus", "smoke", 1)
+        with pytest.raises(ValueError, match="torus"):
+            bad.build_graph()
+
+
+def _tiny_cell() -> WorkloadCell:
+    return WorkloadCell("baswana_sen", "grid", "smoke", 1)
+
+
+class TestRunCell:
+    def test_counts_stable_and_fields_present(self):
+        first = run_cell(_tiny_cell(), reps=1)
+        second = run_cell(_tiny_cell(), reps=2)
+        for name in ("rounds", "messages", "words", "n", "m"):
+            assert first[name] == second[name]
+        assert first["wall_s"] > 0
+        assert first["peak_rss_kb"] > 0
+        assert first["cell_id"] == "baswana_sen/grid/smoke/s1"
+
+    def test_reps_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_cell(_tiny_cell(), reps=0)
+
+
+class TestRunMatrix:
+    def test_inline_results_in_matrix_order(self):
+        cells = [
+            WorkloadCell("baswana_sen", "grid", "smoke", seed)
+            for seed in (1, 2)
+        ]
+        results = run_matrix(cells, jobs=1, reps=1)
+        assert [r["cell_id"] for r in results] == [c.cell_id for c in cells]
+
+    def test_parallel_pool_matches_inline_counts(self):
+        cells = [
+            WorkloadCell("baswana_sen", kind, "smoke", 1)
+            for kind in ("er", "grid", "hypercube")
+        ]
+        inline = run_matrix(cells, jobs=1, reps=1)
+        pooled = run_matrix(cells, jobs=2, reps=1)
+        for a, b in zip(inline, pooled):
+            assert a["cell_id"] == b["cell_id"]
+            for name in ("rounds", "messages", "words"):
+                assert a[name] == b[name]
+
+
+def _report(cells):
+    return {"schema": 1, "kind": "BENCH_simulator", "cells": cells}
+
+
+def _cell(cell_id="p/g/s/s1", wall=1.0, rounds=10, messages=100, words=200):
+    return {
+        "cell_id": cell_id,
+        "n": 50,
+        "m": 100,
+        "rounds": rounds,
+        "messages": messages,
+        "words": words,
+        "wall_s": wall,
+    }
+
+
+class TestCompare:
+    def test_identical_reports_ok(self):
+        report = _report([_cell()])
+        result = compare_reports(report, report)
+        assert result.ok
+        assert result.deltas[0].verdict == "ok"
+
+    def test_wall_regression_flagged(self):
+        result = compare_reports(
+            _report([_cell(wall=1.0)]), _report([_cell(wall=1.5)])
+        )
+        assert not result.ok
+        assert result.regressions[0].detail == "+50%"
+
+    def test_small_absolute_regressions_tolerated(self):
+        # 3x slower but only 20ms: under min_wall, scheduling noise.
+        result = compare_reports(
+            _report([_cell(wall=0.010)]), _report([_cell(wall=0.030)])
+        )
+        assert result.ok
+
+    def test_count_drift_is_hard_failure_even_when_faster(self):
+        result = compare_reports(
+            _report([_cell(wall=1.0, rounds=10)]),
+            _report([_cell(wall=0.1, rounds=11)]),
+        )
+        assert not result.ok
+        assert result.drifted[0].verdict == "count-drift"
+        assert "rounds 10 -> 11" in result.drifted[0].detail
+
+    def test_faster_cells_reported_as_faster(self):
+        result = compare_reports(
+            _report([_cell(wall=1.0)]), _report([_cell(wall=0.4)])
+        )
+        assert result.ok
+        assert result.deltas[0].verdict == "faster"
+
+    def test_disjoint_reports_not_ok(self):
+        result = compare_reports(
+            _report([_cell("a/b/c/s1")]), _report([_cell("x/y/z/s1")])
+        )
+        assert not result.ok
+        assert result.only_in_baseline == ["a/b/c/s1"]
+        assert result.only_in_new == ["x/y/z/s1"]
+
+    def test_comparison_restricted_to_intersection(self):
+        base = _report([_cell("a/b/c/s1"), _cell("a/b/c/s2", wall=9.0)])
+        new = _report([_cell("a/b/c/s1")])
+        result = compare_reports(base, new)
+        assert result.ok
+        assert [d.cell_id for d in result.deltas] == ["a/b/c/s1"]
+
+
+class TestCli:
+    def test_list_prints_matrix(self, capsys):
+        assert bench_main(["--list", "--smoke"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out == [cell.cell_id for cell in smoke_matrix()]
+
+    def test_report_roundtrip_and_self_baseline(self, tmp_path, monkeypatch):
+        # Shrink the smoke matrix so the CLI test stays fast.
+        import repro.perf.cli as cli
+
+        cells = [_tiny_cell()]
+        monkeypatch.setattr(cli, "smoke_matrix", lambda: cells)
+        out = tmp_path / "BENCH_test.json"
+        assert bench_main(
+            ["--smoke", "--jobs", "1", "--reps", "1", "--out", str(out)]
+        ) == 0
+        report = json.loads(out.read_text())
+        assert report["kind"] == "BENCH_simulator"
+        assert report["matrix"] == "smoke"
+        assert [c["cell_id"] for c in report["cells"]] == [
+            cells[0].cell_id
+        ]
+        # Same file as baseline and out: read-before-write, identical
+        # counts, exit 0.
+        assert bench_main(
+            [
+                "--smoke", "--jobs", "1", "--reps", "1",
+                "--out", str(out), "--baseline", str(out),
+            ]
+        ) == 0
+
+    def test_baseline_count_drift_exits_nonzero(self, tmp_path, monkeypatch):
+        import repro.perf.cli as cli
+
+        cells = [_tiny_cell()]
+        monkeypatch.setattr(cli, "smoke_matrix", lambda: cells)
+        out = tmp_path / "BENCH_test.json"
+        assert bench_main(
+            ["--smoke", "--jobs", "1", "--reps", "1", "--out", str(out)]
+        ) == 0
+        report = json.loads(out.read_text())
+        report["cells"][0]["messages"] += 1
+        baseline = tmp_path / "BENCH_drift.json"
+        baseline.write_text(json.dumps(report))
+        assert bench_main(
+            [
+                "--smoke", "--jobs", "1", "--reps", "1",
+                "--baseline", str(baseline),
+            ]
+        ) == 1
+
+    def test_report_metadata(self):
+        report = build_report([_cell()], matrix="full", reps=3)
+        assert report["schema"] == 1
+        assert report["matrix"] == "full"
+        assert report["reps"] == 3
+        assert report["python"]
+        assert report["recorded"]

@@ -318,3 +318,118 @@ class TestMultiPhaseRuns:
         net.run(50, stop_when_idle=True)  # phase 1: one broadcast
         assert net.stats.rounds > first
         assert any(ph == 1 and s == 0 for ph, s, _ in programs[1].heard)
+
+
+class RoundLog(NodeProgram):
+    """Broadcasts a token for the first few rounds; logs inbox sources
+    per round (unlike Echo, which flattens rounds together)."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.rounds: List[List[int]] = []
+
+    def setup(self, api: Api) -> None:
+        api.broadcast(("hello", self.node_id))
+
+    def on_round(self, api, round_index, inbox) -> None:
+        self.rounds.append([src for src, _ in inbox])
+        if round_index <= 3:
+            api.broadcast(("tick", round_index))
+
+
+class TestInboxOrdering:
+    """The clean fast path skips the per-inbox sort (delivery is staged
+    in ascending sender order); the general path sorts only when a fault
+    plan can perturb arrival order.  Either way the contract is the
+    same: inboxes arrive src-sorted unless the plan *deliberately*
+    reorders."""
+
+    def test_clean_inboxes_src_sorted_every_round(self):
+        from repro.graphs import erdos_renyi_gnp
+
+        g = erdos_renyi_gnp(30, 0.2, seed=4)
+        programs = {v: RoundLog(v) for v in g.vertices()}
+        Network(g, programs=programs).run(6)
+        for program in programs.values():
+            for sources in program.rounds:
+                assert sources == sorted(sources)
+
+    def test_faulty_inboxes_src_sorted_without_reorder(self):
+        # Drops, duplicates and delays shuffle *which* messages land in
+        # a round, never their src order within the inbox.
+        from repro.distributed import FaultPlan
+        from repro.graphs import erdos_renyi_gnp
+
+        g = erdos_renyi_gnp(30, 0.2, seed=4)
+        programs = {v: RoundLog(v) for v in g.vertices()}
+        plan = FaultPlan(
+            seed=9, drop_rate=0.1, duplicate_rate=0.1, delay_rate=0.3,
+            max_delay=2,
+        )
+        Network(g, programs=programs, fault_plan=plan).run(8)
+        saw_any = False
+        for program in programs.values():
+            for sources in program.rounds:
+                saw_any = saw_any or bool(sources)
+                assert sources == sorted(sources)
+        assert saw_any
+
+
+class TestBroadcastFastPath:
+    """Api.broadcast targets exactly the neighbor list, so it skips the
+    per-destination has_edge revalidation that Api.send performs; a
+    stray non-neighbor send must still be rejected."""
+
+    def test_broadcast_reaches_each_neighbor_exactly_once(self):
+        g = star(6)
+        programs = {v: Echo(v) for v in g.vertices()}
+        Network(g, programs=programs).run(1)
+        for leaf in range(1, 6):
+            assert programs[leaf].heard == [(0, 0)]
+        assert sorted(programs[0].heard) == [(v, v) for v in range(1, 6)]
+
+    def test_non_neighbor_send_rejected_after_broadcast(self):
+        class Mixed(NodeProgram):
+            def setup(self, api):
+                if api.node_id == 0:
+                    api.broadcast("fine")
+                    api.send(2, "telepathy")  # 0-2 is not an edge
+
+            def on_round(self, api, round_index, inbox):
+                pass
+
+        g = path(3)
+        with pytest.raises(ProtocolError, match="non-neighbor"):
+            Network(g, program_factory=lambda v: Mixed()).run(1)
+
+
+class TestDelayedMessagesAcrossRuns:
+    """Fault-delayed messages are in flight: multi-phase drivers that
+    loop `while network.in_flight: network.run(1)` and `stop_when_idle`
+    callers both rely on the delayed queue counting as traffic."""
+
+    def _delayed_token_net(self):
+        from repro.distributed import FaultPlan
+
+        g = path(2)
+        programs = {v: Forwarder(v) for v in g.vertices()}
+        # delay_rate=1.0, max_delay=1: every delivery is pushed back
+        # exactly one round, deterministically.
+        plan = FaultPlan(seed=1, delay_rate=1.0, max_delay=1)
+        return Network(g, programs=programs, fault_plan=plan), programs
+
+    def test_delayed_message_counts_as_in_flight(self):
+        net, programs = self._delayed_token_net()
+        net.run(1)
+        assert programs[1].received_at is None  # held in the delay queue
+        assert net.in_flight
+        assert net.stats.delayed == 1
+
+    def test_stop_when_idle_waits_for_delay_queue(self):
+        net, programs = self._delayed_token_net()
+        net.run(1)
+        # Resuming with stop_when_idle must deliver the held message
+        # rather than declaring the network idle at the run() boundary.
+        net.run(10, stop_when_idle=True)
+        assert programs[1].received_at == 2
+        assert not net.in_flight
