@@ -35,10 +35,10 @@ def _fields(graph, spanner):
     profile = distance_profile(graph, spanner.subgraph(),
                                num_sources=35, seed=5)
     near = max(
-        (mx for d, (_, mx, _) in profile.items() if d <= 3), default=1.0
+        (mx for d, (_, _, mx, _) in profile.items() if d <= 3), default=1.0
     )
     far = max(
-        (mx for d, (_, mx, _) in profile.items() if d >= 30), default=1.0
+        (mx for d, (_, _, mx, _) in profile.items() if d >= 30), default=1.0
     )
     return near, far
 

@@ -38,11 +38,11 @@ def test_ez_vs_fibonacci_beta(benchmark, report):
                 graph, sp.subgraph(), num_sources=30, seed=4
             )
             near = max(
-                (mx for d, (_, mx, _) in profile.items() if d <= 3),
+                (mx for d, (_, _, mx, _) in profile.items() if d <= 3),
                 default=1.0,
             )
             far = max(
-                (mx for d, (_, mx, _) in profile.items() if d >= 20),
+                (mx for d, (_, _, mx, _) in profile.items() if d >= 20),
                 default=1.0,
             )
             rows.append(

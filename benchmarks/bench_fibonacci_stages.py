@@ -51,7 +51,7 @@ def test_fibonacci_distortion_stages(benchmark, report):
     curve = []
     for name, lo, hi in BUCKETS:
         entries = [
-            (d, mx) for d, (_, mx, _) in profile.items() if lo <= d <= hi
+            (d, mx) for d, (_, _, mx, _) in profile.items() if lo <= d <= hi
         ]
         if not entries:
             continue
@@ -98,8 +98,8 @@ def test_profile_mean_also_improves(benchmark, report):
                                 seed=6)
 
     profile = benchmark.pedantic(run, rounds=1, iterations=1)
-    near = [mean for d, (_, _, mean) in profile.items() if d <= 3]
-    far = [mean for d, (_, _, mean) in profile.items() if d >= 30]
+    near = [mean for d, (_, _, _, mean) in profile.items() if d <= 3]
+    far = [mean for d, (_, _, _, mean) in profile.items() if d >= 30]
     rows = [
         ("mean stretch, d <= 3", round(sum(near) / len(near), 4)),
         ("mean stretch, d >= 30", round(sum(far) / len(far), 4)),

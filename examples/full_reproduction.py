@@ -59,8 +59,8 @@ def main() -> None:
     )
     profile = distance_profile(grid, fib.subgraph(), num_sources=40,
                                seed=4)
-    near = max(mx for d, (_, mx, _) in profile.items() if d <= 3)
-    far = max(mx for d, (_, mx, _) in profile.items() if d >= 30)
+    near = max(mx for d, (_, _, mx, _) in profile.items() if d <= 3)
+    far = max(mx for d, (_, _, mx, _) in profile.items() if d >= 30)
     check("distortion improves with distance", near > far,
           f"worst stretch {near:.2f} near vs {far:.2f} far")
     check("connectivity preserved",

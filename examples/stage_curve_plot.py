@@ -22,7 +22,7 @@ def main() -> None:
     profile = distance_profile(
         graph, spanner.subgraph(), num_sources=40, seed=4
     )
-    points = [(d, mx) for d, (_, mx, _) in sorted(profile.items())]
+    points = [(d, mx) for d, (_, _, mx, _) in sorted(profile.items())]
 
     print(f"grid 40x40: {graph.m} edges; fibonacci spanner "
           f"{spanner.size} edges, levels {spanner.metadata['level_sizes']}")

@@ -26,6 +26,11 @@ Benchmarks (see ``docs/performance.md``)::
     python -m repro bench [--smoke] [--out PATH] [--jobs N] [--reps N]
                           [--baseline PATH] [--threshold F]
                           [--min-wall S] [--list]
+
+Differential fuzzing (see ``docs/fuzzing.md``)::
+
+    python -m repro fuzz [--cases N] [--seed S] [--protocols P ...]
+                         [--corpus DIR] [--replay] [--no-shrink]
 """
 
 from __future__ import annotations
@@ -206,6 +211,10 @@ subcommands:
   bench [--smoke] [--out PATH] [--baseline PATH] ...
         run the simulator benchmark matrix in parallel and emit/compare
         BENCH_*.json reports (exit 1 on regression) -- docs/performance.md
+  fuzz [--cases N] [--seed S] [--protocols P ...] [--corpus DIR]
+        differential-fuzz the distributed protocols against their
+        sequential references and theorem bounds; failures shrink to
+        JSON reproducers (exit 1) -- docs/fuzzing.md
   [n] [p] [seed]
         (no subcommand) print the measured Fig. 1 comparison table on
         an Erdos-Renyi host G(n, p) (defaults: n=400 p=0.08 seed=2008)
@@ -229,6 +238,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.perf.cli import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        from repro.fuzz.cli import main as fuzz_main
+
+        return fuzz_main(argv[1:])
     return _fig1(argv)
 
 

@@ -290,6 +290,98 @@ def elkin_zhang_beta(n: int, eps: float, t: float) -> float:
 
 
 # ----------------------------------------------------------------------
+# Per-protocol budgets for the differential fuzzer (repro.fuzz)
+# ----------------------------------------------------------------------
+
+def baswana_sen_size_bound(n: int, k: int) -> float:
+    """The corrected Baswana–Sen size recurrence (Lemma 6 discussion):
+
+    E|S| <= k n + (1 + log2 k) n^{1 + 1/k}.
+
+    The log k factor is this paper's correction to the commonly cited
+    O(k n^{1+1/k}); the explicit (1 + log2 k) constant makes the bound a
+    usable per-run budget for small n (a size-0 additive constant would
+    reject honest runs on tiny hosts).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if n < 1:
+        return 0.0
+    if k == 1:
+        # k = 1 returns the whole graph; the only bound is m <= n(n-1)/2.
+        return n * (n - 1) / 2
+    return k * n + (1 + math.log2(k)) * n ** (1 + 1 / k)
+
+
+def additive2_size_bound(n: int) -> float:
+    """Size budget for the additive-2 construction (Sect. 1.2 baseline):
+
+    with threshold T = ceil(sqrt(n log n)), light edges contribute
+    <= n T, heavy-vertex joining edges <= n, and the dominator BFS
+    forests <= 4 sqrt(n log n) * n edges (twice the expected 2 n ln n / T
+    dominators, each owning a spanning forest) — O(n^{3/2} log^{1/2} n)
+    with explicit constants.
+    """
+    if n < 2:
+        return 1.0
+    log_n = max(1.0, math.log(n))
+    threshold = math.ceil(math.sqrt(n * log_n))
+    return n * threshold + n + 4 * math.sqrt(n * log_n) * n
+
+
+def protocol_size_budget(protocol: str, n: int, **params: float) -> float:
+    """The analytic edge-count budget the fuzzer holds ``protocol`` to.
+
+    Dispatches to the closed-form bound of the matching lemma/theorem:
+    ``skeleton`` -> :func:`skeleton_size_bound` (Lemma 6),
+    ``baswana_sen`` -> :func:`baswana_sen_size_bound` (corrected Lemma 6
+    recurrence), ``additive`` -> :func:`additive2_size_bound`,
+    ``fibonacci`` -> :func:`fibonacci_size_bound` (Lemma 8).  ``survey``
+    builds no spanner and has no size budget (raises ``ValueError``).
+    Keyword parameters carry the per-protocol knobs (``D``, ``k``,
+    ``order``, ``ell``).
+    """
+    if protocol == "skeleton":
+        return skeleton_size_bound(n, int(params.get("D", 4)))
+    if protocol == "baswana_sen":
+        return baswana_sen_size_bound(n, int(params.get("k", 3)))
+    if protocol == "additive":
+        return additive2_size_bound(n)
+    if protocol == "fibonacci":
+        order = int(params.get("order", 2))
+        eps = float(params.get("eps", 0.5))
+        ell = float(params.get("ell", 3 * order / eps + 2))
+        return fibonacci_size_bound(n, order, ell)
+    raise ValueError(f"no size budget for protocol {protocol!r}")
+
+
+def protocol_stretch_budget(
+    protocol: str, n: int, **params: float
+) -> Tuple[float, float]:
+    """The ``(alpha, beta)`` stretch guarantee the fuzzer verifies.
+
+    ``skeleton`` -> Theorem 2's distortion bound (multiplicative),
+    ``baswana_sen`` -> (2k - 1, 0), ``additive`` -> (1, 2).
+    ``fibonacci``'s guarantee is staged by distance (Theorem 7); its
+    uniform envelope here is the d = 1 stage 2^{o+1} (the per-distance
+    curve is checked via :func:`theorem7_distortion_bound`).  ``survey``
+    is not a spanner construction (raises ``ValueError``).
+    """
+    if protocol == "skeleton":
+        D = int(params.get("D", 4))
+        eps = float(params.get("eps", 0.5))
+        return skeleton_distortion_bound(n, D, eps), 0.0
+    if protocol == "baswana_sen":
+        return 2 * int(params.get("k", 3)) - 1, 0.0
+    if protocol == "additive":
+        return 1.0, 2.0
+    if protocol == "fibonacci":
+        order = int(params.get("order", 2))
+        return float(2 ** (order + 1)), 0.0
+    raise ValueError(f"no stretch budget for protocol {protocol!r}")
+
+
+# ----------------------------------------------------------------------
 # Section 3: lower-bound predictions
 # ----------------------------------------------------------------------
 

@@ -1,0 +1,54 @@
+"""Differential fuzzing for the distributed protocols (``repro fuzz``).
+
+Seed-driven random cases (graph × protocol × faults) are run through an
+oracle battery — subgraph containment, analytic size budgets, theorem
+stretch bounds, connectivity/coverage, replay determinism, reliable-
+under-faults equivalence, and sequential/distributed differential
+checks.  Failures are shrunk to minimal JSON reproducers and stored in
+the committed corpus (``tests/fuzz_corpus/``), which CI replays as a
+regression suite.  See ``docs/fuzzing.md``.
+"""
+
+from repro.fuzz.cases import (
+    FUZZ_PROTOCOLS,
+    FuzzCase,
+    build_case_graph,
+    case_stream,
+    dumps_cases,
+    materialize,
+)
+from repro.fuzz.corpus import (
+    DEFAULT_CORPUS_DIR,
+    load_corpus,
+    replay_corpus,
+    save_reproducer,
+)
+from repro.fuzz.oracles import (
+    ORACLE_NAMES,
+    OracleFailure,
+    check_case,
+    run_battery,
+)
+from repro.fuzz.runner import CaseExecution, RunResult
+from repro.fuzz.shrink import ShrinkResult, shrink_case
+
+__all__ = [
+    "CaseExecution",
+    "DEFAULT_CORPUS_DIR",
+    "FUZZ_PROTOCOLS",
+    "FuzzCase",
+    "ORACLE_NAMES",
+    "OracleFailure",
+    "RunResult",
+    "ShrinkResult",
+    "build_case_graph",
+    "case_stream",
+    "check_case",
+    "dumps_cases",
+    "load_corpus",
+    "materialize",
+    "replay_corpus",
+    "run_battery",
+    "save_reproducer",
+    "shrink_case",
+]

@@ -1,0 +1,156 @@
+"""``python -m repro fuzz`` — the differential-fuzzing entry point.
+
+Runs a deterministic, seeded stream of cases through the oracle battery
+(:mod:`repro.fuzz.oracles`); on the first failure it shrinks the case
+(:mod:`repro.fuzz.shrink`) and writes a minimal JSON reproducer into the
+corpus directory (:mod:`repro.fuzz.corpus`), then exits 1.  A clean
+sweep exits 0.
+
+Examples::
+
+    python -m repro fuzz --cases 50 --seed 0
+    python -m repro fuzz --cases 200 --protocols skeleton fibonacci
+    python -m repro fuzz --replay            # re-check the corpus
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.fuzz.cases import FUZZ_PROTOCOLS, case_stream, materialize
+from repro.fuzz.corpus import (
+    DEFAULT_CORPUS_DIR,
+    replay_corpus,
+    save_reproducer,
+)
+from repro.fuzz.oracles import check_case
+from repro.fuzz.shrink import shrink_case
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fuzz",
+        description=(
+            "Differential fuzzing of the five distributed protocols "
+            "against their sequential references and theorem bounds."
+        ),
+    )
+    parser.add_argument(
+        "--cases", type=int, default=100,
+        help="number of cases to run (default 100)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="case-stream seed; same seed => identical stream (default 0)",
+    )
+    parser.add_argument(
+        "--protocols", nargs="+", choices=FUZZ_PROTOCOLS, metavar="P",
+        help=f"restrict to these protocols (default: all of "
+             f"{', '.join(FUZZ_PROTOCOLS)})",
+    )
+    parser.add_argument(
+        "--corpus", default=DEFAULT_CORPUS_DIR,
+        help=f"reproducer directory (default {DEFAULT_CORPUS_DIR})",
+    )
+    parser.add_argument(
+        "--size-slack", type=float, default=1.0,
+        help="multiplier on the analytic size budgets (default 1.0)",
+    )
+    parser.add_argument(
+        "--fault-fraction", type=float, default=0.3,
+        help="fraction of cases run with fault injection (default 0.3)",
+    )
+    parser.add_argument(
+        "--max-shrink-checks", type=int, default=400,
+        help="oracle re-runs the shrinker may spend (default 400)",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="report the first failure without shrinking it",
+    )
+    parser.add_argument(
+        "--replay", action="store_true",
+        help="replay the corpus instead of fuzzing new cases",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="only report failures and the final summary",
+    )
+    return parser
+
+
+def _replay(args: argparse.Namespace) -> int:
+    results = replay_corpus(args.corpus, size_slack=args.size_slack)
+    if not results:
+        print(f"corpus {args.corpus}: no entries")
+        return 0
+    bad = 0
+    for path, failures in results:
+        if failures:
+            bad += 1
+            print(f"FAIL {path}")
+            for failure in failures:
+                print(f"     {failure}")
+        elif not args.quiet:
+            print(f"ok   {path}")
+    print(f"corpus: {len(results) - bad}/{len(results)} passing")
+    return 1 if bad else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.replay:
+        return _replay(args)
+
+    cases = case_stream(
+        args.seed,
+        args.cases,
+        protocols=args.protocols,
+        fault_fraction=args.fault_fraction,
+    )
+    for i, case in enumerate(cases):
+        failures = check_case(case, size_slack=args.size_slack)
+        if not failures:
+            if not args.quiet:
+                print(f"[{i + 1:4d}/{args.cases}] ok   {case.label}")
+            continue
+
+        print(f"[{i + 1:4d}/{args.cases}] FAIL {case.label}")
+        for failure in failures:
+            print(f"       {failure}")
+        worst = failures[0]
+        if args.no_shrink:
+            path = save_reproducer(materialize(case), worst, args.corpus)
+        else:
+            result = shrink_case(
+                case,
+                worst,
+                size_slack=args.size_slack,
+                max_checks=args.max_shrink_checks,
+            )
+            n = len(result.case.vertices or ())
+            m = len(result.case.edges or ())
+            print(
+                f"       shrunk to n={n}, m={m} "
+                f"(from n={result.original_size[0]}, "
+                f"m={result.original_size[1]}; "
+                f"{result.checks} checks)"
+            )
+            path = save_reproducer(result.case, result.failure, args.corpus)
+        print(f"       reproducer: {path}")
+        print(
+            "       replay with: python -m repro fuzz --replay "
+            f"--corpus {args.corpus}"
+        )
+        return 1
+
+    print(f"fuzz: {args.cases} cases passed (seed {args.seed})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

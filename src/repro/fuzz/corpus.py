@@ -1,0 +1,130 @@
+"""The committed reproducer corpus (``tests/fuzz_corpus/``).
+
+When the fuzzer finds a failure it shrinks the case and saves a small
+JSON reproducer here.  The corpus is committed: every entry is a bug
+that once existed (or a hand-picked regression case), and
+``tests/test_fuzz_corpus.py`` replays the whole directory on every CI
+run, asserting that each entry now **passes** the oracle battery — the
+corpus is a regression suite distilled from fuzzing, not a graveyard.
+
+Format (one file per case, schema 1)::
+
+    {
+      "schema": 1,
+      "case": { ...FuzzCase.to_json()... },
+      "found": {"oracle": "...", "message": "..."} | null,
+      "oracles": ["size", ...] | null     # restrict replay (optional)
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.fuzz.cases import FuzzCase
+from repro.fuzz.oracles import OracleFailure, check_case
+
+__all__ = [
+    "DEFAULT_CORPUS_DIR",
+    "load_corpus",
+    "replay_corpus",
+    "save_reproducer",
+]
+
+SCHEMA_VERSION = 1
+
+#: repo-relative default; the CLI resolves it against the cwd.
+DEFAULT_CORPUS_DIR = os.path.join("tests", "fuzz_corpus")
+
+
+def _reproducer_payload(
+    case: FuzzCase, failure: Optional[OracleFailure]
+) -> Dict[str, Any]:
+    return {
+        "schema": SCHEMA_VERSION,
+        "case": case.to_json(),
+        "found": (
+            {"oracle": failure.oracle, "message": failure.message}
+            if failure is not None
+            else None
+        ),
+        "oracles": None,
+    }
+
+
+def save_reproducer(
+    case: FuzzCase,
+    failure: Optional[OracleFailure],
+    directory: str = DEFAULT_CORPUS_DIR,
+) -> str:
+    """Write a reproducer JSON; returns its path.
+
+    The filename encodes protocol, oracle and host size, plus the case
+    seed for uniqueness: ``skeleton_size_n12_s123456.json``.
+    """
+    os.makedirs(directory, exist_ok=True)
+    n = len(case.vertices or ()) or case.n
+    oracle = failure.oracle if failure is not None else "case"
+    name = (
+        f"{case.protocol}_{oracle}_n{n}_s{case.protocol_seed}.json"
+    )
+    path = os.path.join(directory, name)
+    with open(path, "w") as fh:
+        json.dump(
+            _reproducer_payload(case, failure),
+            fh,
+            indent=2,
+            sort_keys=True,
+        )
+        fh.write("\n")
+    return path
+
+
+def load_corpus(
+    directory: str = DEFAULT_CORPUS_DIR,
+) -> List[Tuple[str, FuzzCase, Optional[Tuple[str, ...]]]]:
+    """All corpus entries as ``(path, case, oracle_restriction)``."""
+    if not os.path.isdir(directory):
+        return []
+    entries: List[Tuple[str, FuzzCase, Optional[Tuple[str, ...]]]] = []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        with open(path) as fh:
+            payload = json.load(fh)
+        if payload.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}: unknown corpus schema {payload.get('schema')!r}"
+            )
+        restriction = (
+            tuple(str(o) for o in payload["oracles"])
+            if payload.get("oracles")
+            else None
+        )
+        entries.append(
+            (path, FuzzCase.from_json(payload["case"]), restriction)
+        )
+    return entries
+
+
+def replay_corpus(
+    directory: str = DEFAULT_CORPUS_DIR,
+    size_slack: float = 1.0,
+) -> List[Tuple[str, List[OracleFailure]]]:
+    """Re-run the battery over every corpus entry.
+
+    Returns ``(path, failures)`` per entry; a healthy repo yields empty
+    failure lists throughout (asserted by ``tests/test_fuzz_corpus.py``).
+    """
+    results: List[Tuple[str, List[OracleFailure]]] = []
+    for path, case, restriction in load_corpus(directory):
+        results.append(
+            (
+                path,
+                check_case(case, oracles=restriction, size_slack=size_slack),
+            )
+        )
+    return results

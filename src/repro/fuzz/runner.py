@@ -1,0 +1,235 @@
+"""Case execution: distributed runs, re-runs, fault runs, references.
+
+A :class:`CaseExecution` owns one :class:`~repro.fuzz.cases.FuzzCase`'s
+host graph and lazily materializes the four executions the oracle
+battery (:mod:`repro.fuzz.oracles`) compares:
+
+* ``clean()``    — the traced distributed run;
+* ``second()``   — an independent re-run with the same seed (replay
+  determinism: traces must be byte-identical);
+* ``faulty()``   — the same run under the case's :class:`~repro.
+  distributed.faults.FaultPlan` with ``reliable=True`` (the adapter
+  must reproduce the fault-free output exactly);
+* ``reference()`` — the sequential reference construction
+  (:mod:`repro.core` / :mod:`repro.baselines`) under shared randomness.
+
+Each execution is cached, so an oracle battery runs every protocol at
+most four times per case regardless of how many oracles consult it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Optional, Tuple
+
+from repro.baselines.additive_spanner import additive2_spanner
+from repro.baselines.baswana_sen import baswana_sen_spanner
+from repro.core.fibonacci import build_fibonacci_spanner
+from repro.core.skeleton import build_skeleton
+from repro.distributed.additive_protocol import distributed_additive2
+from repro.distributed.baswana_sen_protocol import distributed_baswana_sen
+from repro.distributed.faults import FaultPlan
+from repro.distributed.fibonacci_protocol import (
+    distributed_fibonacci_spanner,
+)
+from repro.distributed.skeleton_protocol import distributed_skeleton
+from repro.distributed.survey_protocol import neighborhood_survey
+from repro.fuzz.cases import FuzzCase, build_case_graph
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.obs.trace import Obs, TraceRecorder
+from repro.spanner.spanner import Spanner
+from repro.util.rng import make_prf
+
+__all__ = ["CaseExecution", "RunResult", "build_fault_plan"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One execution's output, normalized across the five protocols.
+
+    Spanner protocols fill ``edges``; the survey protocol fills
+    ``known`` (per-vertex canonical edge sets).  ``trace`` is the
+    canonical JSONL dump of the run's event stream.
+    """
+
+    edges: Optional[FrozenSet[Edge]]
+    known: Optional[Dict[int, FrozenSet[Edge]]]
+    metadata: Dict[str, Any]
+    trace: str
+
+    @property
+    def size(self) -> int:
+        return len(self.edges) if self.edges is not None else 0
+
+
+def _opt_int(params: Dict[str, Any], key: str) -> Optional[int]:
+    return int(params[key]) if key in params else None
+
+
+def build_fault_plan(case: FuzzCase) -> Optional[FaultPlan]:
+    """The case's :class:`FaultPlan` (``None`` for clean cases)."""
+    if case.fault is None:
+        return None
+    spec = dict(case.fault)
+    return FaultPlan(
+        seed=int(spec.get("seed", 1)),
+        drop_rate=spec.get("drop_rate", 0.0),
+        duplicate_rate=spec.get("duplicate_rate", 0.0),
+        delay_rate=spec.get("delay_rate", 0.0),
+        reorder_rate=spec.get("reorder_rate", 0.0),
+    )
+
+
+def _run_distributed(
+    case: FuzzCase,
+    graph: Graph,
+    fault_plan: Optional[FaultPlan],
+    reliable: bool,
+) -> RunResult:
+    recorder = TraceRecorder()
+    obs = Obs(recorder=recorder)
+    params = case.params
+    seed = case.protocol_seed
+    common: Dict[str, Any] = {
+        "seed": seed,
+        "fault_plan": fault_plan,
+        "reliable": reliable,
+        "obs": obs,
+    }
+    spanner: Optional[Spanner] = None
+    known: Optional[Dict[int, FrozenSet[Edge]]] = None
+    if case.protocol == "skeleton":
+        spanner = distributed_skeleton(
+            graph,
+            D=int(params.get("D", 4)),
+            eps=float(params.get("eps", 0.5)),
+            **common,
+        )
+    elif case.protocol == "baswana_sen":
+        spanner = distributed_baswana_sen(
+            graph, int(params.get("k", 3)), **common
+        )
+    elif case.protocol == "additive":
+        spanner = distributed_additive2(
+            graph, threshold=_opt_int(params, "threshold"), **common
+        )
+    elif case.protocol == "fibonacci":
+        spanner = distributed_fibonacci_spanner(
+            graph,
+            order=int(params.get("order", 2)),
+            eps=float(params.get("eps", 0.5)),
+            ell=_opt_int(params, "ell"),
+            **common,
+        )
+    elif case.protocol == "survey":
+        common.pop("seed")
+        raw, _stats = neighborhood_survey(
+            graph, int(params.get("radius", 2)), **common
+        )
+        known = {
+            v: frozenset(canonical_edge(a, b) for a, b in raw[v])
+            for v in sorted(raw)
+        }
+    else:
+        raise ValueError(f"unknown protocol {case.protocol!r}")
+    if spanner is not None:
+        return RunResult(
+            edges=frozenset(spanner.edges),
+            known=None,
+            metadata=dict(spanner.metadata),
+            trace=recorder.dumps(),
+        )
+    return RunResult(
+        edges=None, known=known, metadata={}, trace=recorder.dumps()
+    )
+
+
+def _run_reference(case: FuzzCase, graph: Graph) -> Optional[Spanner]:
+    """The sequential reference construction.
+
+    ``skeleton`` drives :func:`build_skeleton` with the same PRF as the
+    protocol (identical cluster evolution); ``fibonacci`` passes the
+    same seed, so both sides sample the identical level hierarchy.
+    ``baswana_sen``/``additive`` draw their own randomness (``ensure_rng``
+    vs the protocol's PRF), so their differential check compares sizes
+    within a band rather than demanding equality.  ``survey`` has no
+    sequential spanner (its reference is the exact BFS neighborhood,
+    computed directly by the coverage oracle).
+    """
+    params = case.params
+    seed = case.protocol_seed
+    if case.protocol == "skeleton":
+        return build_skeleton(
+            graph,
+            D=int(params.get("D", 4)),
+            eps=float(params.get("eps", 0.5)),
+            prf=make_prf(seed),
+        )
+    if case.protocol == "baswana_sen":
+        return baswana_sen_spanner(graph, int(params.get("k", 3)), seed=seed)
+    if case.protocol == "additive":
+        return additive2_spanner(
+            graph, threshold=_opt_int(params, "threshold"), seed=seed
+        )
+    if case.protocol == "fibonacci":
+        return build_fibonacci_spanner(
+            graph,
+            order=int(params.get("order", 2)),
+            eps=float(params.get("eps", 0.5)),
+            ell=_opt_int(params, "ell"),
+            seed=seed,
+        )
+    return None
+
+
+@dataclass
+class CaseExecution:
+    """Lazy, cached executions of one fuzz case."""
+
+    case: FuzzCase
+    graph: Graph = field(init=False)
+    _clean: Optional[RunResult] = field(default=None, repr=False)
+    _second: Optional[RunResult] = field(default=None, repr=False)
+    _faulty: Optional[RunResult] = field(default=None, repr=False)
+    _reference: Optional[Spanner] = field(default=None, repr=False)
+    _reference_done: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.graph = build_case_graph(self.case)
+
+    def clean(self) -> RunResult:
+        if self._clean is None:
+            self._clean = _run_distributed(
+                self.case, self.graph, fault_plan=None, reliable=False
+            )
+        return self._clean
+
+    def second(self) -> RunResult:
+        if self._second is None:
+            self._second = _run_distributed(
+                self.case, self.graph, fault_plan=None, reliable=False
+            )
+        return self._second
+
+    def faulty(self) -> Optional[RunResult]:
+        if self.case.fault is None:
+            return None
+        if self._faulty is None:
+            self._faulty = _run_distributed(
+                self.case,
+                self.graph,
+                fault_plan=build_fault_plan(self.case),
+                reliable=True,
+            )
+        return self._faulty
+
+    def reference(self) -> Optional[Spanner]:
+        if not self._reference_done:
+            self._reference = _run_reference(self.case, self.graph)
+            self._reference_done = True
+        return self._reference
+
+    def spanner_subgraph(self) -> Graph:
+        """The clean run's spanner as a graph on all host vertices."""
+        edges: Tuple[Edge, ...] = tuple(sorted(self.clean().edges or ()))
+        return self.graph.edge_subgraph(edges)

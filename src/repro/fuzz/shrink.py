@@ -1,0 +1,194 @@
+"""Greedy delta-debugging shrinker for failing fuzz cases.
+
+Given a case that fails some oracle, produce the smallest host graph
+(and simplest case) we can find that *still fails the same oracle*:
+
+1. drop the fault specification if the failure survives without it;
+2. ddmin over vertices — remove chunks (half, quarter, ... single
+   vertices) together with their incident edges;
+3. ddmin over edges — remove chunks of the surviving edge list;
+4. prune vertices left isolated by the edge pass;
+
+repeating to a fixpoint under a bounded re-check budget (each re-check
+runs the full protocol, so the budget is what keeps shrinking cheap).
+The shrinker is fully deterministic: chunks are tried in sorted order
+and no randomness is drawn, so a given failure always shrinks to the
+same reproducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Tuple
+
+from repro.fuzz.cases import FuzzCase, materialize
+from repro.fuzz.oracles import OracleFailure, check_case
+
+__all__ = ["ShrinkResult", "shrink_case"]
+
+
+class ShrinkResult:
+    """The shrunk case plus shrink bookkeeping."""
+
+    __slots__ = ("case", "failure", "checks", "original_size")
+
+    def __init__(
+        self,
+        case: FuzzCase,
+        failure: OracleFailure,
+        checks: int,
+        original_size: Tuple[int, int],
+    ) -> None:
+        self.case = case
+        self.failure = failure
+        self.checks = checks
+        self.original_size = original_size
+
+    def __repr__(self) -> str:
+        n = len(self.case.vertices or ())
+        m = len(self.case.edges or ())
+        return (
+            f"ShrinkResult(n={n}, m={m}, from={self.original_size}, "
+            f"checks={self.checks}, oracle={self.failure.oracle!r})"
+        )
+
+
+class _Budget:
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+
+    def take(self) -> bool:
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def _still_fails(
+    case: FuzzCase,
+    oracle: str,
+    size_slack: float,
+    budget: _Budget,
+) -> Optional[OracleFailure]:
+    """Re-run the battery restricted to the failing oracle (full battery
+    for ``crash`` pseudo-failures, which have no oracle of their own)."""
+    if not budget.take():
+        return None
+    wanted = None if oracle == "crash" else (oracle,)
+    for failure in check_case(case, oracles=wanted, size_slack=size_slack):
+        if failure.oracle == oracle:
+            return failure
+    return None
+
+
+def shrink_case(
+    case: FuzzCase,
+    failure: OracleFailure,
+    size_slack: float = 1.0,
+    max_checks: int = 400,
+) -> ShrinkResult:
+    """Shrink ``case`` while ``failure.oracle`` keeps failing.
+
+    Returns the smallest failing case found within ``max_checks``
+    oracle re-runs (the original, materialized, if nothing smaller
+    fails).  The result always carries an explicit edge list, ready for
+    :func:`repro.fuzz.corpus.save_reproducer`.
+    """
+    budget = _Budget(max_checks)
+    current = materialize(case)
+    original = (len(current.vertices or ()), len(current.edges or ()))
+    best_failure = failure
+
+    def attempt(candidate: FuzzCase) -> Optional[OracleFailure]:
+        return _still_fails(
+            candidate, failure.oracle, size_slack, budget
+        )
+
+    changed = True
+    while changed and budget.used < budget.limit:
+        changed = False
+
+        if current.fault is not None:
+            refound = attempt(replace(current, fault=None))
+            if refound is not None:
+                current = replace(current, fault=None)
+                best_failure = refound
+                changed = True
+
+        # Vertex pass: drop chunks of vertices with their incident edges.
+        verts: List[int] = list(current.vertices or ())
+        chunk = max(1, len(verts) // 2)
+        while chunk >= 1 and budget.used < budget.limit:
+            i = 0
+            while i < len(verts):
+                drop = frozenset(verts[i : i + chunk])
+                keep_v = tuple(v for v in verts if v not in drop)
+                if len(keep_v) < 2:
+                    i += chunk
+                    continue
+                keep_e = tuple(
+                    e
+                    for e in (current.edges or ())
+                    if e[0] not in drop and e[1] not in drop
+                )
+                candidate = replace(
+                    current, vertices=keep_v, edges=keep_e, n=len(keep_v)
+                )
+                refound = attempt(candidate)
+                if refound is not None:
+                    current = candidate
+                    verts = list(keep_v)
+                    best_failure = refound
+                    changed = True
+                else:
+                    i += chunk
+            chunk //= 2
+
+        # Edge pass: drop chunks of edges, vertices untouched.
+        edges: List[Tuple[int, int]] = list(current.edges or ())
+        chunk = max(1, len(edges) // 2)
+        while chunk >= 1 and budget.used < budget.limit:
+            i = 0
+            while i < len(edges):
+                keep_e = tuple(edges[:i] + edges[i + chunk :])
+                candidate = replace(current, edges=keep_e)
+                refound = attempt(candidate)
+                if refound is not None:
+                    current = candidate
+                    edges = list(keep_e)
+                    best_failure = refound
+                    changed = True
+                else:
+                    i += chunk
+            chunk //= 2
+
+        # Prune vertices the edge pass isolated (if the failure allows).
+        touched = frozenset(
+            v for e in (current.edges or ()) for v in e
+        )
+        lonely = [
+            v for v in (current.vertices or ()) if v not in touched
+        ]
+        if lonely and len(current.vertices or ()) - len(lonely) >= 2:
+            keep_v = tuple(
+                v for v in (current.vertices or ()) if v in touched
+            )
+            candidate = replace(
+                current, vertices=keep_v, n=len(keep_v)
+            )
+            refound = attempt(candidate)
+            if refound is not None:
+                current = candidate
+                best_failure = refound
+                changed = True
+
+    current = replace(
+        current,
+        note=(
+            f"shrunk from n={original[0]}, m={original[1]} "
+            f"({budget.used} checks); failing oracle: "
+            f"{best_failure.oracle}"
+        ),
+    )
+    return ShrinkResult(current, best_failure, budget.used, original)

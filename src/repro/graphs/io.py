@@ -7,6 +7,7 @@ variants carry a third column.
 
 from __future__ import annotations
 
+import os
 from typing import TextIO, Union
 
 from repro.graphs.graph import Graph
@@ -37,10 +38,13 @@ def load_edge_list(source: Union[PathLike, TextIO]) -> Graph:
         parts = line.split()
         if len(parts) == 1:
             g.add_vertex(int(parts[0]))
-        elif len(parts) >= 2:
+        elif len(parts) == 2:
             g.add_edge(int(parts[0]), int(parts[1]))
-        else:  # pragma: no cover - unreachable
-            raise ValueError(f"line {line_no}: cannot parse {raw!r}")
+        else:
+            raise ValueError(
+                f"line {line_no}: expected 'u v', got {raw!r} — for "
+                "'u v weight' files use load_weighted_edge_list"
+            )
     return g
 
 

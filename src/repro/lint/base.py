@@ -31,8 +31,11 @@ __all__ = [
 #: ``perf/`` is included so the benchmark harness can never introduce
 #: unseeded randomness or wall-clock reads other than ``perf_counter``
 #: into its workload construction — benchmark cells must replay exactly.
+#: ``fuzz/`` is included for the same reason: a fuzzer whose case
+#: streams or shrinker are not bit-reproducible cannot emit trustworthy
+#: reproducers.
 ALGORITHMIC_PACKAGES = frozenset(
-    {"core", "distributed", "graphs", "spanner", "perf"}
+    {"core", "distributed", "graphs", "spanner", "perf", "fuzz"}
 )
 
 

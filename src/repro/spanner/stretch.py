@@ -82,6 +82,9 @@ def stretch_statistics(
         else _pick_sources(host, num_sources, seed)
     )
     wanted_percentiles = sorted(set(percentiles))
+    for p in wanted_percentiles:
+        if not 0 <= p <= 100:
+            raise ValueError("percentiles must be in [0, 100]")
     samples: List[float] = []
     total_pairs = 0
     max_mult = 0.0
@@ -115,8 +118,6 @@ def stretch_statistics(
     if wanted_percentiles and samples:
         samples.sort()
         for p in wanted_percentiles:
-            if not 0 <= p <= 100:
-                raise ValueError("percentiles must be in [0, 100]")
             idx = min(
                 len(samples) - 1, int(p / 100 * (len(samples) - 1) + 0.5)
             )
@@ -153,19 +154,23 @@ def distance_profile(
     num_sources: Optional[int] = None,
     seed: SeedLike = None,
     sources: Optional[Iterable[int]] = None,
-) -> Dict[int, Tuple[int, float, float]]:
-    """Per-distance stretch: ``{d: (count, max_mult, mean_mult)}``.
+) -> Dict[int, Tuple[int, int, float, float]]:
+    """Per-distance stretch: ``{d: (count, disconnected, max_mult, mean_mult)}``.
 
     The Fibonacci spanner's signature claim (Theorem 7) is that
     multiplicative stretch *shrinks* as delta(u, v) grows; this profile is
-    the measured version of that curve.  Pairs the spanner disconnects are
-    recorded with infinite stretch.
+    the measured version of that curve.  ``count`` is the number of
+    measured pairs at host distance ``d``; ``disconnected`` is how many of
+    them the spanner cuts apart.  ``max_mult``/``mean_mult`` are taken over
+    the connected pairs only (0.0 when a bucket has none), so a single cut
+    pair cannot poison a bucket's mean with infinity.
     """
     src_list = (
         sorted(set(sources)) if sources is not None
         else _pick_sources(host, num_sources, seed)
     )
     counts: Dict[int, int] = {}
+    cut: Dict[int, int] = {}
     max_mult: Dict[int, float] = {}
     sum_mult: Dict[int, float] = {}
     for s in src_list:
@@ -174,13 +179,22 @@ def distance_profile(
         for v, dg in dist_g.items():
             if v == s:
                 continue
-            ds = dist_s.get(v)
-            mult = INF if ds is None else ds / dg
             counts[dg] = counts.get(dg, 0) + 1
+            ds = dist_s.get(v)
+            if ds is None:
+                cut[dg] = cut.get(dg, 0) + 1
+                continue
+            mult = ds / dg
             sum_mult[dg] = sum_mult.get(dg, 0.0) + mult
             if mult > max_mult.get(dg, 0.0):
                 max_mult[dg] = mult
-    return {
-        d: (counts[d], max_mult[d], sum_mult[d] / counts[d])
-        for d in sorted(counts)
-    }
+    profile: Dict[int, Tuple[int, int, float, float]] = {}
+    for d in sorted(counts):
+        connected = counts[d] - cut.get(d, 0)
+        profile[d] = (
+            counts[d],
+            cut.get(d, 0),
+            max_mult.get(d, 0.0),
+            (sum_mult.get(d, 0.0) / connected) if connected else 0.0,
+        )
+    return profile

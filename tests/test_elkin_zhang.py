@@ -88,5 +88,5 @@ class TestEZSignature:
 
         profile = distance_profile(g, sp.subgraph(), num_sources=25,
                                    seed=14)
-        far = [mx for d, (_, mx, _) in profile.items() if d >= 15]
+        far = [mx for d, (_, _, mx, _) in profile.items() if d >= 15]
         assert far and max(far) <= 1 + eps + 0.5

@@ -160,7 +160,7 @@ class TestDistortion:
         profile = distance_profile(
             g, sp.subgraph(), num_sources=25, seed=12
         )
-        for d, (_, max_mult, _) in profile.items():
+        for d, (_, _, max_mult, _) in profile.items():
             assert max_mult <= theorem7_distortion_bound(d, o, eps) + 1e-9
 
     def test_long_range_pairs_near_optimal(self):
@@ -170,5 +170,5 @@ class TestDistortion:
         from repro.spanner import distance_profile
 
         profile = distance_profile(g, sp.subgraph(), num_sources=30, seed=1)
-        far = [mx for d, (_, mx, _) in profile.items() if d >= 30]
+        far = [mx for d, (_, _, mx, _) in profile.items() if d >= 30]
         assert far and max(far) <= 1.5

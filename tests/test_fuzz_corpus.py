@@ -1,0 +1,58 @@
+"""Replay the committed fuzz corpus (``tests/fuzz_corpus/``).
+
+Every corpus entry is a shrunk reproducer of a past fuzzer find or a
+hand-picked regression case; on a healthy tree each must pass the full
+oracle battery.  This is the regression suite the fuzzer distills —
+new finds land here via ``python -m repro fuzz`` and stay forever.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.fuzz import FuzzCase, check_case, load_corpus
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "fuzz_corpus")
+
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+
+
+def test_corpus_covers_every_protocol():
+    protocols = {case.protocol for _, case, _ in ENTRIES}
+    assert protocols == {
+        "skeleton",
+        "baswana_sen",
+        "additive",
+        "fibonacci",
+        "survey",
+    }
+
+
+def test_corpus_includes_a_fault_case():
+    assert any(case.fault is not None for _, case, _ in ENTRIES)
+
+
+@pytest.mark.parametrize(
+    "path,case,restriction",
+    ENTRIES,
+    ids=[os.path.basename(p) for p, _, _ in ENTRIES],
+)
+def test_corpus_entry_passes_battery(path, case, restriction):
+    failures = check_case(case, oracles=restriction)
+    assert failures == [], f"{path} regressed: {failures}"
+
+
+@pytest.mark.parametrize(
+    "path,case,restriction",
+    ENTRIES,
+    ids=[os.path.basename(p) for p, _, _ in ENTRIES],
+)
+def test_corpus_entry_roundtrips(path, case, restriction):
+    assert FuzzCase.from_json(case.to_json()) == case
+    assert case.edges is not None, "corpus entries carry explicit edges"

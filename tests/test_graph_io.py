@@ -53,6 +53,23 @@ class TestUnweightedIO:
         text = buffer.getvalue()
         assert text.startswith("# line1\n# line2\n")
 
+    def test_weighted_line_rejected_with_pointer(self):
+        # A 'u v weight' file fed to the unweighted loader used to be
+        # parsed as if the weight column did not exist; now it must
+        # fail loudly and point at the weighted loader.
+        with pytest.raises(ValueError) as err:
+            load_edge_list(io.StringIO("0 1\n1 2 3.5\n"))
+        assert "line 2" in str(err.value)
+        assert "load_weighted_edge_list" in str(err.value)
+
+    def test_pathlike_annotation_resolves(self):
+        # `PathLike` references os.PathLike via a string annotation;
+        # the module must import os for the reference to resolve.
+        import typing
+
+        hints = typing.get_type_hints(load_edge_list)
+        assert "os.PathLike" in str(hints["source"])
+
 
 class TestWeightedIO:
     def test_roundtrip(self, tmp_path):

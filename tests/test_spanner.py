@@ -121,18 +121,32 @@ class TestDistanceProfile:
         g = path(6)
         profile = distance_profile(g, g)
         assert set(profile) == {1, 2, 3, 4, 5}
-        for d, (count, mx, mean) in profile.items():
+        for d, (count, disconnected, mx, mean) in profile.items():
             assert mx == mean == 1.0
             assert count > 0
+            assert disconnected == 0
 
     def test_profile_shows_distance_dependence(self):
         # In the cycle-with-tree spanner the worst stretch happens at
         # host distance 1 (the deleted edge) and decays with distance.
         g, sp = tree_spanner_of_cycle(12)
         profile = distance_profile(g, sp.subgraph())
-        assert profile[1][1] == 11.0
-        assert profile[2][1] == 5.0
-        assert profile[1][1] > profile[3][1] > profile[5][1]
+        assert profile[1][2] == 11.0
+        assert profile[2][2] == 5.0
+        assert profile[1][2] > profile[3][2] > profile[5][2]
+
+    def test_disconnected_pairs_counted_not_poisoning(self):
+        # Spanner misses the path's middle edge: pairs straddling it are
+        # cut.  Their bucket means must stay finite and the cut pairs
+        # must show up in the per-bucket disconnected count.
+        g = path(4)
+        sub = g.edge_subgraph({(0, 1), (2, 3)})
+        profile = distance_profile(g, sub)
+        assert profile[1] == (6, 2, 1.0, 1.0)
+        assert profile[2] == (4, 4, 0.0, 0.0)
+        assert profile[3] == (2, 2, 0.0, 0.0)
+        for _, (_, _, mx, mean) in profile.items():
+            assert mx != float("inf") and mean != float("inf")
 
 
 class TestVerification:

@@ -47,3 +47,17 @@ class TestPercentiles:
         g = grid_2d(3, 3)
         with pytest.raises(ValueError):
             stretch_statistics(g, g, percentiles=(150,))
+
+    def test_invalid_percentile_rejected_with_no_pairs(self):
+        # Validation must happen before any measurement: a host with no
+        # measurable pairs used to skip the range check entirely.
+        from repro.graphs import Graph
+
+        g = Graph(vertices=[0])
+        with pytest.raises(ValueError):
+            stretch_statistics(g, g, percentiles=(150,))
+
+    def test_negative_percentile_rejected(self):
+        g = grid_2d(3, 3)
+        with pytest.raises(ValueError):
+            stretch_statistics(g, g, percentiles=(-5,))
