@@ -31,6 +31,12 @@ Differential fuzzing (see ``docs/fuzzing.md``)::
 
     python -m repro fuzz [--cases N] [--seed S] [--protocols P ...]
                          [--corpus DIR] [--replay] [--no-shrink]
+
+Churn scenario (see ``docs/robustness.md``)::
+
+    python -m repro churn [--n N] [--k K] [--batches B] [--batch-size E]
+                          [--crash-fraction F] [--amnesia-fraction F]
+                          [--policy MODE] [--oracle] [--json PATH]
 """
 
 from __future__ import annotations
@@ -215,6 +221,10 @@ subcommands:
         differential-fuzz the distributed protocols against their
         sequential references and theorem bounds; failures shrink to
         JSON reproducers (exit 1) -- docs/fuzzing.md
+  churn [--n N] [--k K] [--batches B] [--policy MODE] [--oracle]
+        run the self-healing spanner under a seeded edge-churn +
+        crash/recovery stream with repair-vs-rebuild policy and
+        per-batch grading (exit 1 on degradation) -- docs/robustness.md
   [n] [p] [seed]
         (no subcommand) print the measured Fig. 1 comparison table on
         an Erdos-Renyi host G(n, p) (defaults: n=400 p=0.08 seed=2008)
@@ -242,6 +252,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.fuzz.cli import main as fuzz_main
 
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "churn":
+        from repro.churn.cli import main as churn_main
+
+        return churn_main(argv[1:])
     return _fig1(argv)
 
 

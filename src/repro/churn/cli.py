@@ -1,0 +1,183 @@
+"""``python -m repro churn`` — the self-healing spanner scenario.
+
+Draws a seeded update stream against an Erdős–Rényi host, runs the
+churn engine (:func:`repro.churn.engine.run_churn`) and prints the
+per-batch trajectory: events applied, repair-vs-rebuild decision,
+repair work, grade.  ``--oracle`` additionally runs the
+rebuild-equivalence battery (:mod:`repro.churn.oracle`) — the same
+check the CI churn-smoke job performs.
+
+Examples::
+
+    python -m repro churn --n 60 --batches 8 --crash-fraction 0.2
+    python -m repro churn --policy always-repair --oracle
+    python -m repro churn --json - --metrics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.churn.engine import run_churn
+from repro.churn.events import churn_stream
+from repro.churn.oracle import check_churn
+from repro.churn.policy import BUDGET, POLICY_MODES, RepairPolicy
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro churn",
+        description=(
+            "Self-healing (2k-1)-spanner under edge churn and node "
+            "crash/recovery, with a repair-vs-rebuild policy engine."
+        ),
+    )
+    host = parser.add_argument_group("host graph")
+    host.add_argument("--n", type=int, default=60,
+                      help="Erdős–Rényi host size (default 60)")
+    host.add_argument("--p", type=float, default=0.08,
+                      help="edge probability (default 0.08)")
+    host.add_argument("--graph-seed", type=int, default=2008,
+                      help="host graph seed (default 2008)")
+    host.add_argument("--k", type=int, default=2,
+                      help="spanner parameter: stretch 2k-1 (default 2)")
+    stream = parser.add_argument_group("update stream")
+    stream.add_argument("--batches", type=int, default=8,
+                        help="number of update batches (default 8)")
+    stream.add_argument("--batch-size", type=int, default=8,
+                        help="events per batch (default 8)")
+    stream.add_argument("--stream-seed", type=int, default=0,
+                        help="update-stream seed (default 0)")
+    stream.add_argument("--delete-fraction", type=float, default=0.45,
+                        help="fraction of edge events that delete "
+                             "(default 0.45)")
+    stream.add_argument("--crash-fraction", type=float, default=0.15,
+                        help="fraction of events that crash a node "
+                             "(default 0.15)")
+    stream.add_argument("--amnesia-fraction", type=float, default=0.5,
+                        help="fraction of crashes losing volatile state "
+                             "(default 0.5)")
+    pol = parser.add_argument_group("repair policy")
+    pol.add_argument("--policy", choices=POLICY_MODES, default=BUDGET,
+                     help=f"repair-vs-rebuild mode (default {BUDGET})")
+    pol.add_argument("--budget-factor", type=float, default=0.5,
+                     help="repair while offers <= factor * live edges "
+                          "(default 0.5)")
+    pol.add_argument("--denser-patience", type=int, default=3,
+                     help="consecutive denser grades before a forced "
+                          "rebuild; 0 disables (default 3)")
+    parser.add_argument("--size-slack", type=float, default=1.0,
+                        help="grading slack on the analytic size bound "
+                             "(default 1.0)")
+    parser.add_argument("--no-handshakes", action="store_true",
+                        help="skip the distributed amnesia-recovery "
+                             "handshake episodes")
+    parser.add_argument("--oracle", action="store_true",
+                        help="also run the rebuild-equivalence oracle "
+                             "battery (exit 1 on failure)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metrics registry after the run")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the canonical ChurnResult JSON to "
+                             "PATH ('-' for stdout)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from repro.graphs.generators import erdos_renyi_gnp
+
+    args = build_parser().parse_args(argv)
+    graph = erdos_renyi_gnp(args.n, args.p, seed=args.graph_seed)
+    stream = churn_stream(
+        graph,
+        batches=args.batches,
+        batch_size=args.batch_size,
+        seed=args.stream_seed,
+        delete_fraction=args.delete_fraction,
+        crash_fraction=args.crash_fraction,
+        amnesia_fraction=args.amnesia_fraction,
+    )
+    policy = RepairPolicy(
+        mode=args.policy,
+        budget_factor=args.budget_factor,
+        denser_patience=args.denser_patience,
+    )
+    metrics = MetricsRegistry() if args.metrics else None
+    result = run_churn(
+        graph,
+        args.k,
+        stream,
+        policy=policy,
+        handshakes=not args.no_handshakes,
+        size_slack=args.size_slack,
+        metrics=metrics,
+    )
+    if args.json == "-":
+        print(result.dumps())
+    else:
+        _render(args, graph.m, result)
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(result.dumps() + "\n")
+            print(f"wrote {args.json}")
+    if metrics is not None:
+        print()
+        print(metrics.render())
+    status = 0 if result.ok else 1
+    if args.oracle:
+        failure = check_churn(
+            graph, args.k, stream, size_slack=args.size_slack
+        )
+        if failure is None:
+            print("oracle: rebuild-equivalence battery passed")
+        else:
+            oracle, message = failure
+            print(f"oracle: FAIL [{oracle}] {message}", file=sys.stderr)
+            status = 1
+    return status
+
+
+def _render(args: argparse.Namespace, m: int, result: "object") -> None:
+    from repro.churn.engine import ChurnResult
+
+    assert isinstance(result, ChurnResult)
+    print(
+        f"host: G(n={args.n}, p={args.p}) -> m={m}; "
+        f"k={args.k} (stretch {2 * args.k - 1}); "
+        f"policy={result.policy['mode']}"
+    )
+    header = (
+        f"{'batch':>5} {'events':>6} {'applied':>7} {'decision':>8} "
+        f"{'offers':>6} {'touched':>7} {'rounds':>6} {'size':>5} "
+        f"{'grade':>16} {'shakes':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for b in result.batches:
+        work = b.work
+        shakes = (
+            f"{sum(1 for h in b.handshakes if h['ok'])}/{len(b.handshakes)}"
+            if b.handshakes
+            else "-"
+        )
+        print(
+            f"{b.index:>5} {b.events:>6} {b.applied:>7} {b.decision:>8} "
+            f"{work.get('offers', 0):>6} "
+            f"{work.get('edges_examined', 0):>7} "
+            f"{work.get('repair_rounds', 0):>6} {b.size:>5} "
+            f"{b.grade:>16} {shakes:>6}"
+        )
+    windows = (
+        ", ".join(str(w) for w in result.degradation_windows) or "none"
+    )
+    print(
+        f"\nfinal: {result.final_grade} with {result.final_size} edges; "
+        f"{result.full_rebuilds} full rebuild(s); "
+        f"handshakes {result.handshakes_ok}/{result.handshakes} ok; "
+        f"degradation windows: {windows}"
+    )

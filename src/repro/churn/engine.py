@@ -1,0 +1,337 @@
+"""The churn engine: apply update batches, repair, grade, account.
+
+:func:`run_churn` drives one churn scenario end to end: for each batch
+of :class:`repro.churn.events.UpdateEvent` it
+
+1. applies the updates to the maintained
+   :class:`repro.churn.maintainer.IncrementalSpanner`;
+2. runs the distributed **repair handshake**
+   (:func:`repro.churn.repair_protocol.repair_handshake`) for every node
+   that recovered from an amnesia crash this batch, over the live repair
+   region;
+3. asks the :class:`repro.churn.policy.RepairPolicy` whether to repair
+   incrementally or rebuild from scratch, and does so;
+4. grades the maintained spanner against the **live** graph with
+   :func:`repro.spanner.verification.classify_outcome` (alpha = 2k-1,
+   baseline = the analytic girth bound ``n^(1+1/k) + n``);
+5. emits per-batch repair-work metrics into an optional
+   :class:`repro.obs.metrics.MetricsRegistry` (edges touched, repair
+   rounds, degradation-window length, ...).
+
+The resulting :class:`ChurnResult` serializes canonically via
+:meth:`ChurnResult.dumps`; two runs with the same inputs are
+byte-identical, which is the replay oracle of :mod:`repro.churn.oracle`
+and the CI churn-smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.churn.events import RECOVER, UpdateEvent
+from repro.churn.maintainer import IncrementalSpanner
+from repro.churn.policy import REBUILD, REPAIR, RepairPolicy
+from repro.churn.repair_protocol import HandshakeReport, repair_handshake
+from repro.distributed.reliable import ReliableConfig
+from repro.graphs.graph import Graph
+from repro.graphs.properties import bfs_distances
+from repro.obs.metrics import MetricsRegistry
+from repro.spanner.verification import VALID, VALID_DENSER, classify_outcome
+from repro.util.rng import SeedLike
+
+__all__ = ["BatchReport", "ChurnResult", "run_churn", "spanner_baseline"]
+
+
+def spanner_baseline(n: int, k: int) -> int:
+    """The analytic (2k-1)-spanner size bound ``n^(1+1/k) + n``."""
+    if n <= 0:
+        return 0
+    return int(n ** (1.0 + 1.0 / k)) + n
+
+
+@dataclass
+class BatchReport:
+    """Everything the engine learned from one update batch."""
+
+    index: int
+    events: int
+    applied: int
+    #: ``"repair"`` or ``"rebuild"`` (policy decision for this batch).
+    decision: str
+    #: grade of the maintained spanner vs. the live graph.
+    grade: str
+    size: int
+    live_m: int
+    #: estimated repair offers the policy weighed against live_m.
+    estimated_offers: int
+    #: repair-work accounting (RepairStats.as_dict()).
+    work: Dict[str, int] = field(default_factory=dict)
+    #: one entry per amnesia-recovery handshake run this batch.
+    handshakes: List[Dict[str, Any]] = field(default_factory=list)
+    #: consecutive valid-but-denser batches ending at this one.
+    denser_streak: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "events": self.events,
+            "applied": self.applied,
+            "decision": self.decision,
+            "grade": self.grade,
+            "size": self.size,
+            "live_m": self.live_m,
+            "estimated_offers": self.estimated_offers,
+            "work": dict(self.work),
+            "handshakes": list(self.handshakes),
+            "denser_streak": self.denser_streak,
+        }
+
+
+@dataclass
+class ChurnResult:
+    """Full trajectory of one churn run (canonically serializable)."""
+
+    k: int
+    n: int
+    policy: Dict[str, Any]
+    batches: List[BatchReport]
+    #: lengths of every maximal run of consecutive non-``valid`` grades
+    #: (the degradation windows; a window still open at the end counts).
+    degradation_windows: List[int]
+    full_rebuilds: int
+    final_grade: str
+    final_size: int
+    handshakes: int
+    handshakes_ok: int
+
+    @property
+    def ok(self) -> bool:
+        """No invalid batch and every repair handshake reconstructed."""
+        return (
+            all(b.grade in (VALID, VALID_DENSER) for b in self.batches)
+            and self.handshakes == self.handshakes_ok
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "k": self.k,
+            "n": self.n,
+            "policy": dict(self.policy),
+            "batches": [b.as_dict() for b in self.batches],
+            "degradation_windows": list(self.degradation_windows),
+            "full_rebuilds": self.full_rebuilds,
+            "final_grade": self.final_grade,
+            "final_size": self.final_size,
+            "handshakes": self.handshakes,
+            "handshakes_ok": self.handshakes_ok,
+            "ok": self.ok,
+        }
+
+    def dumps(self) -> str:
+        """Canonical JSON — byte-identical across same-input runs."""
+        return json.dumps(
+            self.to_json(), sort_keys=True, separators=(",", ":")
+        )
+
+
+def _handshake_region(
+    maintainer: IncrementalSpanner, node: int
+) -> Tuple[Graph, Dict[int, Tuple[int, ...]]]:
+    """The live ball around a recovered node, plus per-node memories.
+
+    ``spanner_links[v]`` is what ``v`` remembers sharing a spanner edge
+    with: its current incident spanner edges, plus — for the recovering
+    node's former partners — the shared edge recorded in
+    ``maintainer.memory[node]`` (the neighbor-side memory the amnesiac
+    node lost).
+    """
+    live = maintainer.live_graph()
+    dist = bfs_distances(live, node, cutoff=maintainer.threshold)
+    members = set(dist)
+    region = Graph(vertices=sorted(members))
+    for u, v in sorted(live.edges()):
+        if u in members and v in members:
+            region.add_edge(u, v)
+    links: Dict[int, Tuple[int, ...]] = {}
+    for v in sorted(members):
+        partners = sorted(
+            {
+                b if a == v else a
+                for a, b in maintainer.incident_spanner_edges(v)
+            }
+        )
+        links[v] = tuple(p for p in partners if p in members)
+    for a, b in maintainer.remembered_edges(node):
+        other = b if a == node else a
+        if other in members:
+            links[other] = tuple(sorted(set(links.get(other, ())) | {node}))
+    return region, links
+
+
+def run_churn(
+    graph: Graph,
+    k: int,
+    batches: Sequence[Sequence[UpdateEvent]],
+    policy: Optional[RepairPolicy] = None,
+    handshakes: bool = True,
+    size_slack: float = 1.0,
+    grade_num_sources: Optional[int] = None,
+    grade_seed: SeedLike = 0,
+    reliable_config: Optional[ReliableConfig] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> ChurnResult:
+    """Run the churn scenario over ``graph`` and grade every batch.
+
+    Deterministic for fixed arguments: the update stream is given, the
+    maintainer iterates sorted snapshots, the handshake protocol has no
+    randomness, and grading uses ``grade_seed``.  ``handshakes=False``
+    skips the distributed re-join episodes (the sequential maintainer
+    already models their outcome) — useful for tight fuzz loops.
+    """
+    if policy is None:
+        policy = RepairPolicy()
+    maintainer = IncrementalSpanner(k, graph)
+    alpha = float(2 * k - 1)
+    n = graph.n
+    baseline = spanner_baseline(n, k)
+    reports: List[BatchReport] = []
+    denser_streak = 0
+    window = 0
+    windows: List[int] = []
+    handshake_total = 0
+    handshake_ok = 0
+    for index, batch in enumerate(batches):
+        maintainer.begin_batch()
+        applied = 0
+        amnesia_recovered: List[int] = []
+        for event in batch:
+            was_amnesiac = (
+                event.kind == RECOVER and event.u in maintainer.amnesiac
+            )
+            if maintainer.apply(event):
+                applied += 1
+                if was_amnesiac:
+                    amnesia_recovered.append(event.u)
+        shakes: List[Dict[str, Any]] = []
+        if handshakes:
+            for node in sorted(set(amnesia_recovered)):
+                report = _run_handshake(
+                    maintainer, node, reliable_config
+                )
+                if report is not None:
+                    shakes.append(report.as_dict())
+                    handshake_total += 1
+                    if report.ok:
+                        handshake_ok += 1
+        candidates = maintainer.repair_candidates()
+        decision = policy.decide(
+            len(candidates), maintainer.live_m, denser_streak
+        )
+        if decision == REBUILD:
+            maintainer.rebuild()
+        else:
+            assert decision == REPAIR
+            maintainer.execute_repair(candidates)
+        live = maintainer.live_graph()
+        grade = classify_outcome(
+            live,
+            maintainer.spanner_edges(),
+            alpha=alpha,
+            beta=0.0,
+            baseline_size=baseline,
+            size_slack=size_slack,
+            num_sources=grade_num_sources,
+            seed=grade_seed,
+        )
+        if grade.status == VALID_DENSER:
+            denser_streak += 1
+        else:
+            denser_streak = 0
+        if grade.status == VALID:
+            if window:
+                windows.append(window)
+            window = 0
+        else:
+            window += 1
+        work = maintainer.stats.as_dict()
+        reports.append(
+            BatchReport(
+                index=index,
+                events=len(batch),
+                applied=applied,
+                decision=decision,
+                grade=grade.status,
+                size=maintainer.size,
+                live_m=maintainer.live_m,
+                estimated_offers=len(candidates),
+                work=work,
+                handshakes=shakes,
+                denser_streak=denser_streak,
+            )
+        )
+        if metrics is not None:
+            _emit_metrics(metrics, k, reports[-1])
+    if window:
+        windows.append(window)
+    if metrics is not None:
+        for w in windows:
+            metrics.histogram("churn_degradation_window", k=k).observe(w)
+        metrics.gauge("churn_full_rebuilds", k=k).set(
+            maintainer.full_rebuilds
+        )
+    return ChurnResult(
+        k=k,
+        n=n,
+        policy=policy.to_json(),
+        batches=reports,
+        degradation_windows=windows,
+        full_rebuilds=maintainer.full_rebuilds,
+        final_grade=reports[-1].grade if reports else VALID,
+        final_size=maintainer.size,
+        handshakes=handshake_total,
+        handshakes_ok=handshake_ok,
+    )
+
+
+def _run_handshake(
+    maintainer: IncrementalSpanner,
+    node: int,
+    config: Optional[ReliableConfig],
+) -> Optional[HandshakeReport]:
+    """One amnesia-recovery episode; None when the node is isolated."""
+    region, links = _handshake_region(maintainer, node)
+    if region.n < 2:
+        return None
+    # Flood needs the region diameter (<= 2 * radius) in virtual
+    # rounds; +4 covers the crash window and the amnesia re-announce.
+    rounds = 2 * maintainer.threshold + 4
+    return repair_handshake(
+        region, node, links, rounds=rounds, config=config
+    )
+
+
+def _emit_metrics(
+    metrics: MetricsRegistry, k: int, report: BatchReport
+) -> None:
+    work = report.work
+    metrics.counter("churn_events_applied", k=k).inc(report.applied)
+    metrics.counter("churn_offers", k=k).inc(work.get("offers", 0))
+    metrics.counter("churn_edges_examined", k=k).inc(
+        work.get("edges_examined", 0)
+    )
+    metrics.counter("churn_recover_offers", k=k).inc(
+        work.get("recover_offers", 0)
+    )
+    metrics.counter("churn_rebuilds", k=k).inc(work.get("rebuilds", 0))
+    metrics.counter(
+        "churn_decisions", k=k, decision=report.decision
+    ).inc()
+    metrics.histogram("churn_repair_rounds", k=k).observe(
+        work.get("repair_rounds", 0)
+    )
+    metrics.histogram("churn_region_vertices", k=k).observe(
+        work.get("region_vertices", 0)
+    )
+    metrics.gauge("churn_spanner_size", k=k).set(report.size)

@@ -1,0 +1,226 @@
+"""Deterministic, seeded update streams for the churn scenario.
+
+An update stream is a list of *batches*; each batch is a list of
+:class:`UpdateEvent` (edge insert/delete, node crash/recover) applied in
+order by the engine, after which the maintained spanner is repaired (or
+rebuilt) and graded.  :func:`churn_stream` draws a stream from a single
+seeded RNG (:func:`repro.util.rng.ensure_rng`) while tracking the
+evolving topology, so the same ``(graph, seed, knobs)`` always produces
+the same stream — the replayability contract the churn fuzz oracle and
+the CI smoke job both assert byte-for-byte.
+
+Events serialize to compact JSON lists (``["ins", u, v]``,
+``["del", u, v]``, ``["crash", u, 1]``, ``["recover", u]``) so a whole
+stream can live inside a fuzz reproducer and be ddmin-shrunk.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.graphs.graph import Graph, canonical_edge
+from repro.util.rng import SeedLike, ensure_rng
+
+__all__ = [
+    "CRASH",
+    "DELETE",
+    "INSERT",
+    "RECOVER",
+    "UpdateEvent",
+    "churn_stream",
+    "events_from_json",
+    "events_to_json",
+]
+
+INSERT = "ins"
+DELETE = "del"
+CRASH = "crash"
+RECOVER = "recover"
+
+_EDGE_KINDS = (INSERT, DELETE)
+_NODE_KINDS = (CRASH, RECOVER)
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """One topology update: an edge operation or a node transition."""
+
+    kind: str
+    u: int
+    v: Optional[int] = None
+    #: crash mode — ``True`` loses volatile state (amnesia), ``False``
+    #: is fail-pause.  Only meaningful for ``kind == "crash"``.
+    amnesia: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind in _EDGE_KINDS:
+            if self.v is None:
+                raise ValueError(f"{self.kind!r} event needs two endpoints")
+            if self.u == self.v:
+                raise ValueError(f"{self.kind!r} event is a self-loop")
+        elif self.kind in _NODE_KINDS:
+            if self.v is not None:
+                raise ValueError(f"{self.kind!r} event takes one node")
+            if self.amnesia and self.kind != CRASH:
+                raise ValueError("amnesia only applies to crash events")
+        else:
+            raise ValueError(f"unknown update kind {self.kind!r}")
+
+    @property
+    def edge(self) -> Tuple[int, int]:
+        """Canonical endpoints of an edge event."""
+        if self.v is None:
+            raise ValueError(f"{self.kind!r} event has no edge")
+        return canonical_edge(self.u, self.v)
+
+    def to_json(self) -> List[Any]:
+        if self.kind in _EDGE_KINDS:
+            return [self.kind, self.u, self.v]
+        if self.kind == CRASH:
+            return [self.kind, self.u, 1 if self.amnesia else 0]
+        return [self.kind, self.u]
+
+    @classmethod
+    def from_json(cls, data: Sequence[Any]) -> "UpdateEvent":
+        kind = str(data[0])
+        if kind in _EDGE_KINDS:
+            return cls(kind, int(data[1]), int(data[2]))
+        if kind == CRASH:
+            amnesia = bool(int(data[2])) if len(data) > 2 else False
+            return cls(kind, int(data[1]), amnesia=amnesia)
+        return cls(kind, int(data[1]))
+
+    def __str__(self) -> str:
+        if self.kind in _EDGE_KINDS:
+            return f"{self.kind}({self.u},{self.v})"
+        if self.kind == CRASH:
+            mode = "amnesia" if self.amnesia else "pause"
+            return f"crash({self.u},{mode})"
+        return f"recover({self.u})"
+
+
+def events_to_json(batches: Sequence[Sequence[UpdateEvent]]) -> List[List[List[Any]]]:
+    """Serialize a whole stream (list of batches) to plain JSON data."""
+    return [[e.to_json() for e in batch] for batch in batches]
+
+
+def events_from_json(data: Sequence[Sequence[Sequence[Any]]]) -> List[List[UpdateEvent]]:
+    """Inverse of :func:`events_to_json`."""
+    return [[UpdateEvent.from_json(e) for e in batch] for batch in data]
+
+
+def churn_stream(
+    graph: Graph,
+    batches: int,
+    batch_size: int,
+    seed: SeedLike = 0,
+    delete_fraction: float = 0.45,
+    crash_fraction: float = 0.0,
+    amnesia_fraction: float = 0.5,
+    max_down_batches: int = 2,
+) -> List[List[UpdateEvent]]:
+    """Draw a deterministic update stream against ``graph``.
+
+    The generator tracks the evolving edge set (so deletes always name a
+    present edge and inserts a genuinely absent one) and the set of down
+    nodes (so crashes hit live nodes and every crash schedules its
+    recovery 1..``max_down_batches`` batches later; crashes in the final
+    batches recover inside the last batch, so a full stream always ends
+    with every node up).  ``crash_fraction`` of event slots become crash
+    events; ``amnesia_fraction`` of those lose volatile state on
+    recovery instead of fail-pausing.  Pure function of its arguments.
+    """
+    if batches < 1 or batch_size < 1:
+        raise ValueError("batches and batch_size must be >= 1")
+    for name, frac in (
+        ("delete_fraction", delete_fraction),
+        ("crash_fraction", crash_fraction),
+        ("amnesia_fraction", amnesia_fraction),
+    ):
+        if not 0.0 <= frac <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {frac}")
+    rng = ensure_rng(seed)
+    vertices = sorted(graph.vertices())
+    if len(vertices) < 2:
+        raise ValueError("churn needs at least two vertices")
+    edges = sorted(graph.edges())
+    present: Set[Tuple[int, int]] = set(edges)
+    down: Set[int] = set()
+    #: batch index -> recover events scheduled for that batch.
+    recoveries: Dict[int, List[UpdateEvent]] = {}
+    stream: List[List[UpdateEvent]] = []
+    for b in range(batches):
+        batch: List[UpdateEvent] = list(recoveries.pop(b, ()))
+        for event in batch:
+            down.discard(event.u)
+        for _ in range(batch_size):
+            live = [v for v in vertices if v not in down]
+            if (
+                crash_fraction > 0.0
+                and len(live) > 2
+                and rng.random() < crash_fraction
+            ):
+                node = rng.choice(live)
+                amnesia = rng.random() < amnesia_fraction
+                batch.append(UpdateEvent(CRASH, node, amnesia=amnesia))
+                down.add(node)
+                wake = b + 1 + rng.randrange(max_down_batches)
+                if wake >= batches:
+                    # Recover inside the final batch: streams end clean.
+                    batch.append(UpdateEvent(RECOVER, node))
+                    down.discard(node)
+                else:
+                    recoveries.setdefault(wake, []).append(
+                        UpdateEvent(RECOVER, node)
+                    )
+                continue
+            if present and rng.random() < delete_fraction:
+                u, v = rng.choice(sorted(present))
+                present.discard((u, v))
+                batch.append(UpdateEvent(DELETE, u, v))
+                continue
+            inserted = _draw_absent_edge(rng, vertices, present)
+            if inserted is None:
+                # Dense host with nothing left to insert: delete instead.
+                if not present:
+                    continue
+                u, v = rng.choice(sorted(present))
+                present.discard((u, v))
+                batch.append(UpdateEvent(DELETE, u, v))
+                continue
+            present.add(inserted)
+            batch.append(UpdateEvent(INSERT, inserted[0], inserted[1]))
+        stream.append(batch)
+    # Flush any recovery scheduled past the horizon into the final batch
+    # (possible only if max_down_batches exceeds the remaining batches).
+    leftovers = [ev for b in sorted(recoveries) for ev in recoveries[b]]
+    if leftovers:
+        stream[-1].extend(leftovers)
+    return stream
+
+
+def _draw_absent_edge(
+    rng: random.Random,
+    vertices: List[int],
+    present: Set[Tuple[int, int]],
+) -> Optional[Tuple[int, int]]:
+    """A uniform-ish absent pair, by bounded rejection sampling."""
+    n = len(vertices)
+    if len(present) >= n * (n - 1) // 2:
+        return None
+    for _ in range(64):
+        u = rng.choice(vertices)
+        v = rng.choice(vertices)
+        if u == v:
+            continue
+        edge = canonical_edge(u, v)
+        if edge not in present:
+            return edge
+    # Dense fallback: first absent pair in canonical order.
+    for i, u in enumerate(vertices):
+        for v in vertices[i + 1:]:
+            if (u, v) not in present:
+                return (u, v)
+    return None

@@ -1,0 +1,154 @@
+"""Rebuild-equivalence oracles for the churn scenario.
+
+The differential contract: after **every** batch the incrementally
+maintained spanner must be indistinguishable — by invariant, size
+bound, stretch, and :func:`repro.spanner.verification.classify_outcome`
+grade — from a from-scratch girth-rule rebuild over the same live
+graph, and the whole run must replay byte-identically.  The fuzz layer
+(:mod:`repro.fuzz`) feeds shrunk cases in here; this module takes plain
+``(graph, k, batches)`` inputs so the dependency points fuzz -> churn
+only.
+
+Oracles (first failure wins, checked in this order per batch):
+
+* ``churn_invariant`` — every live host edge is spanned within 2k-1
+  hops of the maintained spanner (the repair soundness claim);
+* ``churn_size`` — maintained size <= ``size_slack`` x the analytic
+  girth bound ``n^(1+1/k) + n``;
+* ``churn_stretch`` — :func:`classify_outcome` of the maintained edge
+  set against the live graph is not ``invalid``;
+* ``churn_grade_match`` — that grade equals the grade of a fresh
+  rebuild over the same live graph;
+* ``churn_replay`` — two :func:`repro.churn.engine.run_churn` passes
+  over the same inputs serialize to identical bytes (checked once,
+  after the batch loop).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.churn.engine import run_churn, spanner_baseline
+from repro.churn.events import UpdateEvent
+from repro.churn.maintainer import IncrementalSpanner
+from repro.churn.policy import ALWAYS_REPAIR, RepairPolicy
+from repro.graphs.graph import Graph
+from repro.spanner.verification import classify_outcome
+from repro.util.rng import SeedLike
+
+__all__ = ["CHURN_ORACLE_NAMES", "check_churn"]
+
+CHURN_ORACLE_NAMES = (
+    "churn_invariant",
+    "churn_size",
+    "churn_stretch",
+    "churn_grade_match",
+    "churn_replay",
+)
+
+
+def check_churn(
+    graph: Graph,
+    k: int,
+    batches: Sequence[Sequence[UpdateEvent]],
+    size_slack: float = 1.0,
+    oracles: Sequence[str] = CHURN_ORACLE_NAMES,
+    grade_seed: SeedLike = 0,
+) -> Optional[Tuple[str, str]]:
+    """First failing ``(oracle, message)`` for the churn case, or None.
+
+    Runs the maintainer under the always-repair policy — the point is
+    to exercise incremental repair, not to let the policy bail out to a
+    rebuild — and compares against a fresh build after every batch.
+    """
+    for name in oracles:
+        if name not in CHURN_ORACLE_NAMES:
+            raise ValueError(
+                f"unknown churn oracle {name!r}; "
+                f"choose from {CHURN_ORACLE_NAMES}"
+            )
+    wanted = set(oracles)
+    maintainer = IncrementalSpanner(k, graph)
+    alpha = float(2 * k - 1)
+    baseline = spanner_baseline(graph.n, k)
+    for index, batch in enumerate(batches):
+        maintainer.begin_batch()
+        for event in batch:
+            maintainer.apply(event)
+        maintainer.execute_repair()
+        if "churn_invariant" in wanted and not maintainer.check_invariant():
+            bad = maintainer.uncovered_edges(limit=4)
+            return (
+                "churn_invariant",
+                f"batch {index}: live edges left unspanned "
+                f"beyond {2 * k - 1} hops, e.g. {bad}",
+            )
+        if (
+            "churn_size" in wanted
+            and maintainer.size > size_slack * baseline
+        ):
+            return (
+                "churn_size",
+                f"batch {index}: {maintainer.size} edges vs. "
+                f"bound {size_slack:g} x {baseline}",
+            )
+        live = maintainer.live_graph()
+        maintained = _grade(
+            live, maintainer.spanner_edges(), alpha, baseline,
+            size_slack, grade_seed,
+        )
+        if "churn_stretch" in wanted and maintained == "invalid":
+            return (
+                "churn_stretch",
+                f"batch {index}: maintained spanner graded invalid "
+                f"against the live graph",
+            )
+        if "churn_grade_match" in wanted:
+            fresh = IncrementalSpanner(k, live)
+            rebuilt = _grade(
+                live, fresh.spanner_edges(), alpha, baseline,
+                size_slack, grade_seed,
+            )
+            if maintained != rebuilt:
+                return (
+                    "churn_grade_match",
+                    f"batch {index}: maintained grade {maintained!r} "
+                    f"!= rebuild grade {rebuilt!r} "
+                    f"({maintainer.size} vs. {fresh.size} edges)",
+                )
+    if "churn_replay" in wanted:
+        policy = RepairPolicy(mode=ALWAYS_REPAIR)
+        first = run_churn(
+            graph, k, batches, policy=policy, size_slack=size_slack,
+            grade_seed=grade_seed,
+        ).dumps()
+        second = run_churn(
+            graph, k, batches, policy=policy, size_slack=size_slack,
+            grade_seed=grade_seed,
+        ).dumps()
+        if first != second:
+            return (
+                "churn_replay",
+                f"two identical runs diverged "
+                f"({len(first)} vs. {len(second)} bytes)",
+            )
+    return None
+
+
+def _grade(
+    live: Graph,
+    edges: List[Tuple[int, int]],
+    alpha: float,
+    baseline: int,
+    size_slack: float,
+    grade_seed: SeedLike,
+) -> str:
+    return classify_outcome(
+        live,
+        edges,
+        alpha=alpha,
+        beta=0.0,
+        baseline_size=baseline,
+        size_slack=size_slack,
+        seed=grade_seed,
+    ).status

@@ -1,0 +1,89 @@
+"""The repair-vs-rebuild policy engine.
+
+After each update batch the engine must choose between *repairing* the
+maintained spanner (re-offering the region-limited candidate list — see
+:meth:`repro.churn.maintainer.IncrementalSpanner.repair_candidates`)
+and *rebuilding* it from scratch over the live graph.  Repair is cheap
+when damage is local but never removes redundant edges, so a long
+repair streak can drift denser than a fresh build; rebuild restores the
+canonical girth-rule object at full ``O(m)`` cost.
+
+:class:`RepairPolicy` makes that call from two signals:
+
+* the **cost budget**: estimated repair offers vs. ``budget_factor``
+  times the live edge count (the rebuild's offer count);
+* the **degradation window**: ``denser_patience`` consecutive batches
+  graded :data:`repro.spanner.verification.VALID_DENSER` force a
+  rebuild, bounding how long the maintained object may stay denser
+  than a from-scratch one.
+
+Both knobs are validated at construction so a bad CLI/config fails
+fast, matching :class:`repro.distributed.reliable.ReliableConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["POLICY_MODES", "RepairPolicy"]
+
+ALWAYS_REPAIR = "always-repair"
+ALWAYS_REBUILD = "always-rebuild"
+BUDGET = "budget"
+
+POLICY_MODES = (ALWAYS_REPAIR, ALWAYS_REBUILD, BUDGET)
+
+REPAIR = "repair"
+REBUILD = "rebuild"
+
+
+@dataclass(frozen=True)
+class RepairPolicy:
+    """When to repair incrementally and when to rebuild from scratch."""
+
+    mode: str = BUDGET
+    #: repair while estimated offers <= budget_factor * live edge count.
+    budget_factor: float = 0.5
+    #: consecutive valid-but-denser grades tolerated before a forced
+    #: rebuild; 0 disables the degradation trigger.
+    denser_patience: int = 3
+
+    def __post_init__(self) -> None:
+        if self.mode not in POLICY_MODES:
+            raise ValueError(
+                f"unknown policy mode {self.mode!r}; "
+                f"choose from {POLICY_MODES}"
+            )
+        if self.budget_factor <= 0.0:
+            raise ValueError(
+                f"budget_factor must be > 0, got {self.budget_factor}"
+            )
+        if self.denser_patience < 0:
+            raise ValueError(
+                f"denser_patience must be >= 0, got {self.denser_patience}"
+            )
+
+    def decide(
+        self, estimated_offers: int, live_m: int, denser_streak: int
+    ) -> str:
+        """``"repair"`` or ``"rebuild"`` for the pending batch damage."""
+        if self.mode == ALWAYS_REPAIR:
+            return REPAIR
+        if self.mode == ALWAYS_REBUILD:
+            return REBUILD
+        if (
+            self.denser_patience > 0
+            and denser_streak >= self.denser_patience
+        ):
+            return REBUILD
+        if estimated_offers > self.budget_factor * max(1, live_m):
+            return REBUILD
+        return REPAIR
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "budget_factor": self.budget_factor,
+            "denser_patience": self.denser_patience,
+        }

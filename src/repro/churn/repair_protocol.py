@@ -1,0 +1,194 @@
+"""The repair handshake: how an amnesia-crashed node re-joins.
+
+A fail-pause node resumes with its pre-crash state; an amnesia node
+(:class:`repro.distributed.faults.CrashSpec` with ``amnesia=True``)
+comes back with *nothing* volatile — in particular it no longer knows
+which of its incident edges were in the maintained spanner.  What saves
+it is that spanner edges have two endpoints: **each surviving neighbor
+still remembers the shared edge**.  The handshake is a bounded flood of
+per-node records over the repair region, run on top of the
+reliable-delivery layer (:class:`repro.distributed.reliable
+.ReliableNetwork`), through which the recovering node reconstructs the
+region's link structure and its own former spanner edges from its
+neighbors' memories.
+
+:class:`RepairSurveyProgram` is the per-node program: every node owns
+one record ``("rec", id, amnesia_flag, links, spanner_links)`` (links
+are read off the node's own ports via ``api.neighbors`` — port
+knowledge is hardware, not volatile state) and floods records it has
+not seen before.  Its ``on_amnesia_recover`` hook discards everything
+learned plus its own spanner memory, then re-announces itself — the
+handshake solicitation.
+
+:func:`repair_handshake` drives one recovery episode and checks the
+reconstruction against what the neighbors' memories imply — the
+cross-check :func:`repro.churn.engine.run_churn` records per batch and
+the robustness tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.distributed.faults import CrashSpec, FaultPlan
+from repro.distributed.reliable import ReliableConfig, ReliableNetwork
+from repro.distributed.simulator import Api, NodeProgram
+from repro.graphs.graph import Graph
+
+__all__ = ["HandshakeReport", "RepairSurveyProgram", "repair_handshake"]
+
+_RECORD = "rec"
+
+
+class RepairSurveyProgram(NodeProgram):
+    """Flood per-node records until the region's knowledge is shared."""
+
+    def __init__(self, node_id: int, spanner_links: Tuple[int, ...]) -> None:
+        self.node_id = node_id
+        #: neighbors on maintained spanner edges (volatile memory).
+        self.spanner_links: Tuple[int, ...] = tuple(sorted(spanner_links))
+        #: origin -> record tuple, as learned so far.
+        self.learned: Dict[int, Tuple[Any, ...]] = {}
+        self.amnesiac = False
+        self.links: Tuple[int, ...] = ()
+
+    def record(self) -> Tuple[Any, ...]:
+        return (
+            _RECORD,
+            self.node_id,
+            1 if self.amnesiac else 0,
+            self.links,
+            self.spanner_links,
+        )
+
+    def setup(self, api: Api) -> None:
+        self.links = tuple(api.neighbors)
+        rec = self.record()
+        self.learned[self.node_id] = rec
+        api.broadcast(rec)
+
+    def on_round(
+        self, api: Api, round_index: int, inbox: List[Tuple[int, Any]]
+    ) -> None:
+        fresh: List[Tuple[Any, ...]] = []
+        for _src, msg in inbox:
+            if not msg or msg[0] != _RECORD:
+                continue
+            origin = int(msg[1])
+            if origin not in self.learned:
+                self.learned[origin] = tuple(msg)
+                fresh.append(tuple(msg))
+        for msg in fresh:
+            api.broadcast(msg)
+
+    def on_amnesia_recover(self, api: Api, round_index: int) -> None:
+        # Volatile state is gone: learned records and the node's own
+        # spanner memory.  Port knowledge (links) is re-read from the
+        # hardware; the re-announcement solicits the region's records
+        # back (neighbors' reliable-layer retransmissions do the rest).
+        self.amnesiac = True
+        self.spanner_links = ()
+        self.links = tuple(api.neighbors)
+        self.learned = {self.node_id: self.record()}
+        api.broadcast(self.record())
+
+
+@dataclass
+class HandshakeReport:
+    """Outcome of one amnesia-recovery handshake episode."""
+
+    node: int
+    region_size: int
+    #: real network rounds spent (retransmissions included).
+    rounds: int
+    messages: int
+    #: every region record reached the recovering node.
+    coverage_ok: bool
+    #: spanner edges reconstructed from neighbors' memories.
+    recovered_links: Tuple[int, ...]
+    #: what the neighbors' memories actually held (ground truth).
+    expected_links: Tuple[int, ...]
+
+    @property
+    def ok(self) -> bool:
+        return self.coverage_ok and (
+            self.recovered_links == self.expected_links
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "node": self.node,
+            "region_size": self.region_size,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "coverage_ok": self.coverage_ok,
+            "recovered_links": list(self.recovered_links),
+            "expected_links": list(self.expected_links),
+            "ok": self.ok,
+        }
+
+
+def repair_handshake(
+    region: Graph,
+    node: int,
+    spanner_links: Dict[int, Tuple[int, ...]],
+    rounds: int,
+    config: Optional[ReliableConfig] = None,
+    extra_crashes: Tuple[CrashSpec, ...] = (),
+) -> HandshakeReport:
+    """Run one amnesia-recovery handshake over ``region``.
+
+    ``region`` is the (connected) live repair region around ``node``;
+    ``spanner_links[v]`` lists the region neighbors ``v`` remembers
+    sharing a spanner edge with — for neighbors of ``node`` this
+    includes the recovering node's former edges, which is precisely the
+    memory the handshake recovers.  ``node`` is amnesia-crashed at
+    round 1 and recovers at round 2, so the flood must survive the
+    outage via the reliable layer's retransmissions.  Deterministic:
+    no randomness anywhere in the episode.
+    """
+    if not region.has_vertex(node):
+        raise ValueError(f"recovering node {node} not in region graph")
+    programs: Dict[int, NodeProgram] = {
+        v: RepairSurveyProgram(v, spanner_links.get(v, ()))
+        for v in sorted(region.vertices())
+    }
+    plan = FaultPlan(
+        crashes=(
+            CrashSpec(node, crash_round=1, recover_round=2, amnesia=True),
+        )
+        + tuple(extra_crashes),
+    )
+    net = ReliableNetwork(
+        region, programs, fault_plan=plan, config=config
+    )
+    net.run(max_rounds=rounds, stop_when_idle=True)
+    survey = programs[node]
+    assert isinstance(survey, RepairSurveyProgram)
+    coverage_ok = set(survey.learned) == set(region.vertices())
+    recovered = tuple(
+        sorted(
+            origin
+            for origin, rec in survey.learned.items()
+            if origin != node and node in tuple(rec[4])
+        )
+    )
+    expected = tuple(
+        sorted(
+            v
+            for v in sorted(spanner_links)
+            if v != node
+            and region.has_vertex(v)
+            and node in spanner_links[v]
+        )
+    )
+    return HandshakeReport(
+        node=node,
+        region_size=region.n,
+        rounds=net.stats.rounds,
+        messages=net.stats.messages,
+        coverage_ok=coverage_ok,
+        recovered_links=recovered,
+        expected_links=expected,
+    )

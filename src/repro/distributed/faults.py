@@ -23,7 +23,11 @@ misbehave.  This module lets the simulator misbehave *on purpose*:
 Crash semantics: a crashed processor executes no rounds and every
 message addressed to it while down is lost.  A recovering processor
 resumes with its pre-crash local state (the fail-pause model); a
-:class:`CrashSpec` without ``recover_round`` is a crash-stop.
+:class:`CrashSpec` without ``recover_round`` is a crash-stop.  A spec
+with ``amnesia=True`` instead models state loss: at ``recover_round``
+the simulator calls the program's ``on_amnesia_recover`` hook, whose
+implementations wipe volatile state and re-join via a repair handshake
+(see ``docs/robustness.md`` and :mod:`repro.churn.repair_protocol`).
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ DELAY = "delay"
 REORDER = "reorder"
 CRASH = "crash"
 RECOVER = "recover"
+AMNESIA = "amnesia"
 CRASH_DROP = "crash-drop"
 LINK_DEAD = "link-dead"
 
@@ -52,11 +57,36 @@ class CrashSpec:
     simulator's convention (``setup`` is round 0, the first delivery
     round is 1); a spec with ``crash_round <= 0`` also suppresses the
     node's ``setup``.
+
+    ``amnesia=True`` switches the recovery model from fail-pause
+    (resume with exact pre-crash state) to amnesia-crash: at
+    ``recover_round`` the simulator invokes the program's
+    ``on_amnesia_recover`` hook, which is expected to discard volatile
+    state and re-join via whatever repair handshake the protocol
+    defines.  Amnesia therefore requires a ``recover_round`` — an
+    amnesiac crash-stop is indistinguishable from a plain crash-stop.
     """
 
     node: int
     crash_round: int
     recover_round: Optional[int] = None
+    amnesia: bool = False
+
+    def __post_init__(self) -> None:
+        if self.recover_round is not None:
+            if self.recover_round <= self.crash_round:
+                raise ValueError(
+                    f"CrashSpec(node={self.node}): recover_round "
+                    f"({self.recover_round}) must be > crash_round "
+                    f"({self.crash_round}); equal or inverted windows are "
+                    "no-ops and almost certainly a typo"
+                )
+        elif self.amnesia:
+            raise ValueError(
+                f"CrashSpec(node={self.node}): amnesia=True requires a "
+                "recover_round (an amnesiac crash-stop never recovers, so "
+                "there is no state to lose)"
+            )
 
     def down_at(self, round_no: int) -> bool:
         if round_no < self.crash_round:
@@ -150,12 +180,22 @@ class FaultPlan:
     def transitions(self, round_no: int) -> List[FaultEvent]:
         """Crash/recover events that take effect exactly at ``round_no``."""
         events = []
-        for spec in self._crashes.values():
+        for node in sorted(self._crashes):
+            spec = self._crashes[node]
             if spec.crash_round == round_no:
                 events.append(FaultEvent(CRASH, round_no, dst=spec.node))
             if spec.recover_round == round_no:
-                events.append(FaultEvent(RECOVER, round_no, dst=spec.node))
+                kind = AMNESIA if spec.amnesia else RECOVER
+                events.append(FaultEvent(kind, round_no, dst=spec.node))
         return events
+
+    def amnesia_recoveries(self, round_no: int) -> List[int]:
+        """Nodes whose amnesia-crash recovery fires exactly at ``round_no``."""
+        return sorted(
+            node
+            for node, spec in self._crashes.items()
+            if spec.amnesia and spec.recover_round == round_no
+        )
 
     # ------------------------------------------------------------------
     # Per-message decisions

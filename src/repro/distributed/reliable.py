@@ -77,6 +77,23 @@ class ReliableConfig:
     stall_factor: int = 60
     stall_slack: int = 400
 
+    def __post_init__(self) -> None:
+        # A bad chaos config must fail at construction, not by looping
+        # forever (stall_factor <= 0 disables the stall valve's slope),
+        # retransmitting every round (rto < 1), shrinking the retry gap
+        # (backoff < 1) or declaring links dead spuriously (max_tries
+        # < 1 gives up after the very first unacked frame).
+        if self.rto < 1:
+            raise ValueError(f"rto must be >= 1, got {self.rto}")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1.0, got {self.backoff}")
+        if self.max_tries < 1:
+            raise ValueError(f"max_tries must be >= 1, got {self.max_tries}")
+        if self.stall_factor <= 0:
+            raise ValueError(
+                f"stall_factor must be > 0, got {self.stall_factor}"
+            )
+
     def death_rounds(self) -> int:
         """Worst-case real rounds to declare a dead link."""
         return sum(
@@ -196,6 +213,19 @@ class ReliableProgram(NodeProgram):
         self._retransmit(api)
         self._probe(api)
         self._maybe_halt(api)
+
+    def on_amnesia_recover(self, api: Api, round_index: int) -> None:
+        """Forward the amnesia signal to the wrapped inner program.
+
+        Only the *inner* program's volatile state is lost; the wrapper's
+        transport bookkeeping (sequence numbers, unacked frames) models
+        the link layer's stable storage — it is exactly what lets the
+        recovering node be carried back into lockstep by its neighbors'
+        retransmissions, i.e. the repair handshake's reliable substrate.
+        """
+        self._real_round = round_index
+        if self._shim is not None:
+            self.inner.on_amnesia_recover(self._shim, round_index)
 
     # ------------------------------------------------------------------
     # Receive path

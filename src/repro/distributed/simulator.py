@@ -222,6 +222,17 @@ class NodeProgram:
     ) -> None:
         raise NotImplementedError
 
+    def on_amnesia_recover(self, api: Api, round_index: int) -> None:
+        """Hook fired when this node recovers from an amnesia-crash.
+
+        Called once, at the recovery round, *before* that round's
+        ``on_round``.  Implementations must discard volatile state and
+        may send (e.g. a repair-handshake solicitation); the default is
+        a no-op, which degrades amnesia to fail-pause for programs that
+        predate the hook (see ``CrashSpec.amnesia``).
+        """
+        # pragma: no cover - default no-op
+
 
 class Network:
     """A synchronous network: one :class:`NodeProgram` per graph vertex."""
@@ -587,6 +598,13 @@ class Network:
             pending, self._pending = self._pending, {}
             if plan is not None:
                 pending = self._apply_faults(round_no, pending)
+                # Amnesia recoveries fire before the round's on_round:
+                # the node wipes volatile state (and may solicit a
+                # repair handshake) before seeing any new messages.
+                for v in plan.amnesia_recoveries(round_no):
+                    api_v = self._apis[v]
+                    if not api_v._halted:
+                        self.programs[v].on_amnesia_recover(api_v, round_no)
             for api, program in self._active_pairs():
                 v = api.node_id
                 if plan is not None and plan.is_crashed(v, round_no):

@@ -41,13 +41,16 @@ __all__ = [
     "materialize",
 ]
 
-#: the five distributed protocols the fuzzer exercises, in Fig. 1 order.
+#: the five distributed protocols the fuzzer exercises (Fig. 1 order),
+#: plus the churn scenario (update streams against the incremental
+#: spanner, checked by the rebuild-equivalence battery).
 FUZZ_PROTOCOLS: Tuple[str, ...] = (
     "skeleton",
     "baswana_sen",
     "additive",
     "fibonacci",
     "survey",
+    "churn",
 )
 
 #: host-graph recipes; weights bias toward the random families, where
@@ -82,6 +85,12 @@ class FuzzCase:
     #: explicit host graph (shrunk reproducers / corpus entries).
     vertices: Optional[Tuple[int, ...]] = None
     edges: Optional[Tuple[Tuple[int, int], ...]] = None
+    #: churn cases only: the update-stream recipe (``batches``,
+    #: ``batch_size``, ``stream_seed``, fractions), plus — once
+    #: materialized — the frozen ``events`` (batched JSON event lists,
+    #: :func:`repro.churn.events.events_to_json` format) the shrinker
+    #: ddmins over.
+    churn: Optional[Dict[str, Any]] = None
     note: str = ""
 
     @property
@@ -91,7 +100,20 @@ class FuzzCase:
             else f"{self.graph_kind}(n={self.n}, d={self.density:g})"
         )
         fault = " +faults" if self.fault is not None else ""
-        return f"{self.protocol} on {host} seed={self.protocol_seed}{fault}"
+        churn = ""
+        if self.churn is not None:
+            events = self.churn.get("events")
+            count = (
+                sum(len(b) for b in events)
+                if events is not None
+                else f"{self.churn.get('batches', '?')}x"
+                     f"{self.churn.get('batch_size', '?')}"
+            )
+            churn = f" +churn[{count}]"
+        return (
+            f"{self.protocol} on {host} seed={self.protocol_seed}"
+            f"{fault}{churn}"
+        )
 
     def to_json(self) -> Dict[str, Any]:
         """Canonical dict form (stable key order via sort_keys dumps)."""
@@ -113,6 +135,7 @@ class FuzzCase:
                 if self.edges is not None
                 else None
             ),
+            "churn": dict(self.churn) if self.churn is not None else None,
             "note": self.note,
         }
         return data
@@ -141,6 +164,11 @@ class FuzzCase:
             edges=(
                 tuple((int(u), int(v)) for u, v in data["edges"])
                 if data.get("edges") is not None
+                else None
+            ),
+            churn=(
+                dict(data["churn"])
+                if data.get("churn") is not None
                 else None
             ),
             note=str(data.get("note", "")),
@@ -180,19 +208,40 @@ def materialize(case: FuzzCase, graph: Optional[Graph] = None) -> FuzzCase:
 
     The result runs the identical computation (same vertices, same
     edges, same protocol seed) but no longer depends on the generator —
-    the starting point for shrinking and the corpus format.
+    the starting point for shrinking and the corpus format.  Churn
+    cases additionally freeze their update stream: the seeded recipe is
+    expanded once against the frozen host and stored as explicit JSON
+    event batches under ``churn["events"]``.
     """
-    if case.edges is not None:
-        if case.vertices is not None:
-            return case
+    if case.edges is not None and case.vertices is None:
         endpoints = tuple(sorted({v for e in case.edges for v in e}))
-        return replace(case, vertices=endpoints)
-    g = graph if graph is not None else build_case_graph(case)
-    return replace(
-        case,
-        vertices=tuple(sorted(g.vertices())),
-        edges=tuple(sorted(g.edges())),
-    )
+        case = replace(case, vertices=endpoints)
+    if case.edges is None:
+        g = graph if graph is not None else build_case_graph(case)
+        case = replace(
+            case,
+            vertices=tuple(sorted(g.vertices())),
+            edges=tuple(sorted(g.edges())),
+        )
+        graph = g
+    if case.churn is not None and "events" not in case.churn:
+        from repro.churn.events import churn_stream, events_to_json
+
+        g = graph if graph is not None else build_case_graph(case)
+        recipe = case.churn
+        stream = churn_stream(
+            g,
+            batches=int(recipe.get("batches", 3)),
+            batch_size=int(recipe.get("batch_size", 4)),
+            seed=int(recipe.get("stream_seed", 0)),
+            delete_fraction=float(recipe.get("delete_fraction", 0.45)),
+            crash_fraction=float(recipe.get("crash_fraction", 0.2)),
+            amnesia_fraction=float(recipe.get("amnesia_fraction", 0.5)),
+        )
+        case = replace(
+            case, churn={**recipe, "events": events_to_json(stream)}
+        )
+    return case
 
 
 def _sample_params(
@@ -210,6 +259,8 @@ def _sample_params(
         return {"order": 2, "eps": 0.5}
     if protocol == "survey":
         return {"radius": int(rng.choice((1, 2, 3)))}
+    if protocol == "churn":
+        return {"k": int(rng.choice((2, 3)))}
     raise ValueError(f"unknown protocol {protocol!r}")
 
 
@@ -241,13 +292,25 @@ def case_stream(
         n = rng.randrange(8, 73)
         density = round(rng.uniform(0.05, 0.35), 3)
         fault: Optional[Dict[str, float]] = None
-        if rng.random() < fault_fraction:
+        if protocol != "churn" and rng.random() < fault_fraction:
             fault = {
                 "seed": float(rng.randrange(1, 10_000)),
                 "drop_rate": round(rng.uniform(0.0, 0.15), 3),
                 "duplicate_rate": round(rng.uniform(0.0, 0.1), 3),
                 "delay_rate": round(rng.uniform(0.0, 0.1), 3),
                 "reorder_rate": round(rng.uniform(0.0, 0.2), 3),
+            }
+        churn: Optional[Dict[str, Any]] = None
+        if protocol == "churn":
+            # Faults are the stream's own crash/recover events here, so
+            # the message-layer fault spec stays off.
+            churn = {
+                "batches": int(rng.randrange(2, 6)),
+                "batch_size": int(rng.randrange(3, 8)),
+                "stream_seed": int(rng.randrange(2**31)),
+                "delete_fraction": 0.45,
+                "crash_fraction": round(rng.uniform(0.0, 0.3), 3),
+                "amnesia_fraction": 0.5,
             }
         cases.append(
             FuzzCase(
@@ -260,6 +323,7 @@ def case_stream(
                 protocol_seed=rng.randrange(2**31),
                 params=_sample_params(protocol, rng),
                 fault=fault,
+                churn=churn,
             )
         )
     return cases

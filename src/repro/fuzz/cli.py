@@ -35,8 +35,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro fuzz",
         description=(
-            "Differential fuzzing of the five distributed protocols "
-            "against their sequential references and theorem bounds."
+            "Differential fuzzing of the distributed protocols against "
+            "their sequential references and theorem bounds, plus the "
+            "churn engine against from-scratch rebuilds."
         ),
     )
     parser.add_argument(

@@ -46,7 +46,9 @@ from repro.analysis.theory import (
     protocol_stretch_budget,
     theorem7_distortion_bound,
 )
-from repro.fuzz.cases import FuzzCase
+from repro.churn.events import events_from_json
+from repro.churn.oracle import CHURN_ORACLE_NAMES, check_churn
+from repro.fuzz.cases import FuzzCase, build_case_graph, materialize
 from repro.fuzz.runner import CaseExecution
 from repro.graphs.properties import bfs_distances
 from repro.spanner.verification import (
@@ -57,6 +59,7 @@ from repro.spanner.verification import (
 from repro.spanner.stretch import distance_profile
 
 __all__ = [
+    "CHURN_ORACLES",
     "ORACLE_NAMES",
     "OracleFailure",
     "check_case",
@@ -73,6 +76,10 @@ ORACLE_NAMES: Tuple[str, ...] = (
     "fault_equivalence",
     "differential",
 )
+
+#: the churn scenario runs its own rebuild-equivalence battery
+#: (:mod:`repro.churn.oracle`) instead of the protocol oracles above.
+CHURN_ORACLES: Tuple[str, ...] = CHURN_ORACLE_NAMES
 
 
 class OracleFailure:
@@ -288,7 +295,11 @@ def check_case(
     Returns the list of failures, empty when the case passes.  A crash
     inside the protocol itself is reported as a ``crash`` pseudo-oracle
     failure rather than propagated — a fuzzer must survive its finds.
+    Churn cases route to the rebuild-equivalence battery
+    (:mod:`repro.churn.oracle`) instead of the protocol oracles.
     """
+    if case.protocol == "churn":
+        return _check_churn_case(case, oracles, size_slack)
     wanted = oracles if oracles is not None else ORACLE_NAMES
     for name in wanted:
         if name not in _ORACLES:
@@ -311,6 +322,52 @@ def check_case(
         if message is not None:
             failures.append(OracleFailure(name, message))
     return failures
+
+
+def _check_churn_case(
+    case: FuzzCase,
+    oracles: Optional[Tuple[str, ...]],
+    size_slack: float,
+) -> List[OracleFailure]:
+    """Run the churn rebuild-equivalence battery against one case.
+
+    Materializes the case first (freezing host *and* update stream), so
+    recipe cases and shrunk explicit-event cases check identically.
+    """
+    wanted = oracles if oracles is not None else CHURN_ORACLE_NAMES
+    for name in wanted:
+        if name not in CHURN_ORACLE_NAMES:
+            raise ValueError(
+                f"unknown churn oracle {name!r}; "
+                f"choose from {CHURN_ORACLE_NAMES}"
+            )
+    if case.churn is None:
+        return [
+            OracleFailure(
+                "crash", "churn case without a churn specification"
+            )
+        ]
+    try:
+        mat = materialize(case)
+        assert mat.churn is not None
+        graph = build_case_graph(mat)
+        batches = events_from_json(mat.churn["events"])
+        k = int(mat.params.get("k", 2))
+        failure = check_churn(
+            graph,
+            k,
+            batches,
+            size_slack=size_slack,
+            oracles=wanted,
+            grade_seed=mat.protocol_seed,
+        )
+    except Exception as exc:  # noqa: BLE001 — fuzzer must not die
+        return [
+            OracleFailure("crash", f"{type(exc).__name__}: {exc}")
+        ]
+    if failure is None:
+        return []
+    return [OracleFailure(failure[0], failure[1])]
 
 
 def run_battery(

@@ -7,24 +7,57 @@ Given a case that fails some oracle, produce the smallest host graph
 2. ddmin over vertices — remove chunks (half, quarter, ... single
    vertices) together with their incident edges;
 3. ddmin over edges — remove chunks of the surviving edge list;
-4. prune vertices left isolated by the edge pass;
+4. for churn cases, ddmin over the update events (batch structure
+   preserved; emptied batches are pruned at the end);
+5. prune vertices left isolated by the edge pass;
 
 repeating to a fixpoint under a bounded re-check budget (each re-check
 runs the full protocol, so the budget is what keeps shrinking cheap).
 The shrinker is fully deterministic: chunks are tried in sorted order
 and no randomness is drawn, so a given failure always shrinks to the
 same reproducer.
+
+Churn cases carry their frozen update stream in ``case.churn["events"]``
+(:func:`repro.fuzz.cases.materialize`).  Vertex drops rewrite the stream
+to remove events naming a dropped vertex; the engine's no-op tolerance
+(duplicate inserts, deletes of absent edges, unpaired crash/recover)
+keeps every rewritten stream well-formed, so the two ddmin dimensions
+compose freely.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Optional, Tuple
+from typing import Any, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.fuzz.cases import FuzzCase, materialize
 from repro.fuzz.oracles import OracleFailure, check_case
 
 __all__ = ["ShrinkResult", "shrink_case"]
+
+
+def _event_vertices(event: Sequence[Any]) -> FrozenSet[int]:
+    """Vertices an update event names (JSON list form).
+
+    Edge events carry two endpoints; node events carry one (a crash's
+    third element is the amnesia flag, not a vertex).
+    """
+    if event[0] in ("ins", "del"):
+        return frozenset((int(event[1]), int(event[2])))
+    return frozenset((int(event[1]),))
+
+
+def _restrict_events(
+    case: FuzzCase, keep: FrozenSet[int]
+) -> FuzzCase:
+    """Drop churn events naming vertices outside ``keep``."""
+    if case.churn is None or "events" not in case.churn:
+        return case
+    batches = [
+        [ev for ev in batch if _event_vertices(ev) <= keep]
+        for batch in case.churn["events"]
+    ]
+    return replace(case, churn={**case.churn, "events": batches})
 
 
 class ShrinkResult:
@@ -132,8 +165,14 @@ def shrink_case(
                     for e in (current.edges or ())
                     if e[0] not in drop and e[1] not in drop
                 )
-                candidate = replace(
-                    current, vertices=keep_v, edges=keep_e, n=len(keep_v)
+                candidate = _restrict_events(
+                    replace(
+                        current,
+                        vertices=keep_v,
+                        edges=keep_e,
+                        n=len(keep_v),
+                    ),
+                    frozenset(keep_v),
                 )
                 refound = attempt(candidate)
                 if refound is not None:
@@ -162,6 +201,66 @@ def shrink_case(
                 else:
                     i += chunk
             chunk //= 2
+
+        # Event pass (churn cases): drop chunks of update events while
+        # preserving the batch structure, then prune emptied batches.
+        if current.churn is not None and "events" in current.churn:
+            positions: List[Tuple[int, int]] = [
+                (bi, ei)
+                for bi, batch in enumerate(current.churn["events"])
+                for ei in range(len(batch))
+            ]
+            chunk = max(1, len(positions) // 2)
+            while chunk >= 1 and budget.used < budget.limit:
+                i = 0
+                while i < len(positions):
+                    drop = frozenset(positions[i : i + chunk])
+                    if not drop:
+                        break
+                    batches = [
+                        [
+                            ev
+                            for ei, ev in enumerate(batch)
+                            if (bi, ei) not in drop
+                        ]
+                        for bi, batch in enumerate(
+                            current.churn["events"]
+                        )
+                    ]
+                    candidate = replace(
+                        current,
+                        churn={**current.churn, "events": batches},
+                    )
+                    refound = attempt(candidate)
+                    if refound is not None:
+                        current = candidate
+                        positions = [
+                            (bi, ei)
+                            for bi, batch in enumerate(batches)
+                            for ei in range(len(batch))
+                        ]
+                        best_failure = refound
+                        changed = True
+                    else:
+                        i += chunk
+                chunk //= 2
+            kept_batches = [
+                b for b in current.churn["events"] if b
+            ]
+            if not kept_batches and current.churn["events"]:
+                # A batch is a grading point even when empty — keep one
+                # so size/grade oracles still have something to check.
+                kept_batches = [[]]
+            if len(kept_batches) < len(current.churn["events"]):
+                candidate = replace(
+                    current,
+                    churn={**current.churn, "events": kept_batches},
+                )
+                refound = attempt(candidate)
+                if refound is not None:
+                    current = candidate
+                    best_failure = refound
+                    changed = True
 
         # Prune vertices the edge pass isolated (if the failure allows).
         touched = frozenset(

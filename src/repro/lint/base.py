@@ -33,9 +33,11 @@ __all__ = [
 #: into its workload construction — benchmark cells must replay exactly.
 #: ``fuzz/`` is included for the same reason: a fuzzer whose case
 #: streams or shrinker are not bit-reproducible cannot emit trustworthy
-#: reproducers.
+#: reproducers.  ``churn/`` joins because its byte-identical replay
+#: contract (same stream, same repair trajectory) is load-bearing for
+#: the rebuild-equivalence oracle.
 ALGORITHMIC_PACKAGES = frozenset(
-    {"core", "distributed", "graphs", "spanner", "perf", "fuzz"}
+    {"core", "distributed", "graphs", "spanner", "perf", "fuzz", "churn"}
 )
 
 

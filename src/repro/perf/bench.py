@@ -20,9 +20,9 @@ from time import perf_counter
 from typing import Any, Dict, Optional, Tuple
 
 from repro.obs.runners import run_traced
-from repro.perf.workloads import WorkloadCell
+from repro.perf.workloads import ChurnCell, WorkloadCell
 
-__all__ = ["CellResult", "run_cell"]
+__all__ = ["CellResult", "run_cell", "run_churn_cell"]
 
 #: one measured cell, as serialized into ``BENCH_*.json``.
 CellResult = Dict[str, Any]
@@ -72,6 +72,84 @@ def run_cell(cell: WorkloadCell, reps: int = 2) -> CellResult:
     return {
         "cell_id": cell.cell_id,
         "protocol": cell.protocol,
+        "graph_kind": cell.graph_kind,
+        "scale": cell.scale,
+        "seed": cell.seed,
+        "n": graph.n,
+        "m": graph.m,
+        "rounds": rounds,
+        "messages": messages,
+        "words": words,
+        "wall_s": round(best_wall, 6),
+        "rounds_per_s": round(rounds / best_wall, 1) if best_wall > 0 else 0.0,
+        "messages_per_s": (
+            round(messages / best_wall, 1) if best_wall > 0 else 0.0
+        ),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def run_churn_cell(cell: ChurnCell, reps: int = 2) -> CellResult:
+    """Benchmark one churn cell: full engine run, repair-work counts.
+
+    The stream is drawn once (outside the timed region, like the host
+    graph) and every rep replays the identical scenario.  Counts are
+    the summed per-batch repair work — rounds spent repairing, host
+    adjacency entries examined, girth-rule offers — asserted identical
+    across reps exactly like the simulator counts.  Grading samples a
+    fixed small source set and the distributed amnesia handshake is
+    skipped: the bench measures the repair engine, not the verifier or
+    the reliable-layer flood (which the churn CI smoke exercises at
+    small scale).
+    """
+    from repro.churn.engine import run_churn
+    from repro.churn.events import churn_stream
+    from repro.churn.policy import RepairPolicy
+
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    graph = cell.build_graph()
+    batches, batch_size = cell.stream_params
+    stream = churn_stream(
+        graph,
+        batches=batches,
+        batch_size=batch_size,
+        seed=cell.seed,
+        crash_fraction=0.15,
+        amnesia_fraction=0.5,
+    )
+    best_wall = float("inf")
+    counts: Optional[Tuple[int, int, int]] = None
+    for _ in range(reps):
+        start = perf_counter()
+        result = run_churn(
+            graph,
+            cell.k,
+            stream,
+            policy=RepairPolicy(),
+            handshakes=False,
+            grade_num_sources=4,
+        )
+        wall = perf_counter() - start
+        rep_counts = (
+            sum(b.work.get("repair_rounds", 0) for b in result.batches),
+            sum(b.work.get("edges_examined", 0) for b in result.batches),
+            sum(b.work.get("offers", 0) for b in result.batches),
+        )
+        if counts is None:
+            counts = rep_counts
+        elif counts != rep_counts:
+            raise AssertionError(
+                f"nondeterministic cell {cell.cell_id}: "
+                f"{counts} != {rep_counts}"
+            )
+        if wall < best_wall:
+            best_wall = wall
+    assert counts is not None
+    rounds, messages, words = counts
+    return {
+        "cell_id": cell.cell_id,
+        "protocol": "churn",
         "graph_kind": cell.graph_kind,
         "scale": cell.scale,
         "seed": cell.seed,

@@ -26,7 +26,11 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.perf.bench import CellResult
 from repro.perf.compare import compare_reports
 from repro.perf.runner import default_jobs, run_matrix
-from repro.perf.workloads import WorkloadCell, full_matrix, smoke_matrix
+from repro.perf.workloads import (
+    churn_matrix,
+    full_matrix,
+    smoke_matrix,
+)
 
 __all__ = ["build_report", "main"]
 
@@ -45,6 +49,12 @@ def _parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="run the small CI matrix instead of the full one",
+    )
+    parser.add_argument(
+        "--churn",
+        action="store_true",
+        help="run the churn workload matrix instead of the simulator "
+             "one (separate BENCH_churn.json trajectory)",
     )
     parser.add_argument(
         "--out",
@@ -96,12 +106,15 @@ def _parser() -> argparse.ArgumentParser:
 
 
 def build_report(
-    results: List[CellResult], matrix: str, reps: int
+    results: List[CellResult],
+    matrix: str,
+    reps: int,
+    kind: str = "BENCH_simulator",
 ) -> Dict[str, Any]:
     """Assemble the serializable report around measured cells."""
     return {
         "schema": _SCHEMA,
-        "kind": "BENCH_simulator",
+        "kind": kind,
         "matrix": matrix,
         "reps": reps,
         "python": platform.python_version(),
@@ -131,9 +144,11 @@ def _render_cells(results: List[CellResult]) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _parser().parse_args(argv)
-    cells: List[WorkloadCell] = (
-        smoke_matrix() if args.smoke else full_matrix()
-    )
+    cells: List[Any]
+    if args.churn:
+        cells = churn_matrix(("smoke",) if args.smoke else ("smoke", "e1"))
+    else:
+        cells = smoke_matrix() if args.smoke else full_matrix()
     if args.list_cells:
         for cell in cells:
             print(cell.cell_id)
@@ -147,7 +162,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     results = run_matrix(cells, jobs=args.jobs, reps=args.reps)
     report = build_report(
-        results, matrix="smoke" if args.smoke else "full", reps=args.reps
+        results,
+        matrix="smoke" if args.smoke else "full",
+        reps=args.reps,
+        kind="BENCH_churn" if args.churn else "BENCH_simulator",
     )
     payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
     if args.out == "-":

@@ -18,12 +18,14 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.perf.bench import CellResult, run_cell
-from repro.perf.workloads import WorkloadCell
+from repro.perf.bench import CellResult, run_cell, run_churn_cell
+from repro.perf.workloads import ChurnCell, WorkloadCell
 
 __all__ = ["default_jobs", "run_matrix"]
+
+_AnyCell = Union[WorkloadCell, ChurnCell]
 
 
 def default_jobs() -> int:
@@ -31,14 +33,16 @@ def default_jobs() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def _bench_worker(task: Tuple[WorkloadCell, int]) -> CellResult:
+def _bench_worker(task: Tuple[_AnyCell, int]) -> CellResult:
     """Module-level worker so it pickles under the spawn start method."""
     cell, reps = task
+    if isinstance(cell, ChurnCell):
+        return run_churn_cell(cell, reps=reps)
     return run_cell(cell, reps=reps)
 
 
 def run_matrix(
-    cells: Sequence[WorkloadCell],
+    cells: Sequence[_AnyCell],
     jobs: Optional[int] = None,
     reps: int = 2,
 ) -> List[CellResult]:

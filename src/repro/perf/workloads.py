@@ -28,9 +28,11 @@ from repro.graphs.graph import Graph
 
 __all__ = [
     "BENCH_PROTOCOLS",
+    "ChurnCell",
     "SCALES",
     "SEEDS",
     "WorkloadCell",
+    "churn_matrix",
     "full_matrix",
     "smoke_matrix",
 ]
@@ -61,6 +63,19 @@ SCALES: Tuple[str, ...] = ("smoke", "e1")
 _GRAPH_KINDS: Tuple[str, ...] = ("er", "grid", "hypercube")
 
 
+def _build_host(graph_kind: str, scale: str, graph_seed: int) -> Graph:
+    """Shared host-graph dispatch for both cell families."""
+    if graph_kind == "er":
+        n, p = _ER_PARAMS[scale]
+        return erdos_renyi_gnp(n, p, seed=graph_seed)
+    if graph_kind == "grid":
+        rows, cols = _GRID_PARAMS[scale]
+        return grid_2d(rows, cols)
+    if graph_kind == "hypercube":
+        return hypercube(_HYPERCUBE_DIM[scale])
+    raise ValueError(f"unknown graph kind: {graph_kind!r}")
+
+
 @dataclass(frozen=True)
 class WorkloadCell:
     """One benchmark point: a (protocol, host, scale, seed) tuple."""
@@ -81,15 +96,59 @@ class WorkloadCell:
 
     def build_graph(self) -> Graph:
         """Construct this cell's host graph (deterministic per cell)."""
-        if self.graph_kind == "er":
-            n, p = _ER_PARAMS[self.scale]
-            return erdos_renyi_gnp(n, p, seed=self.graph_seed)
-        if self.graph_kind == "grid":
-            rows, cols = _GRID_PARAMS[self.scale]
-            return grid_2d(rows, cols)
-        if self.graph_kind == "hypercube":
-            return hypercube(_HYPERCUBE_DIM[self.scale])
-        raise ValueError(f"unknown graph kind: {self.graph_kind!r}")
+        return _build_host(self.graph_kind, self.scale, self.graph_seed)
+
+
+#: (batches, batch_size) of the churn update stream per scale.
+_CHURN_PARAMS: Dict[str, Tuple[int, int]] = {
+    "smoke": (4, 8),
+    "e1": (12, 16),
+}
+
+
+@dataclass(frozen=True)
+class ChurnCell:
+    """One churn-workload point: host + seeded update stream + k.
+
+    Counts map onto the report schema as repair work: ``rounds`` =
+    repair rounds spent, ``messages`` = adjacency entries examined,
+    ``words`` = girth-rule offers — so the count-drift gate pins the
+    repair algorithm exactly as it pins the simulator hot path.
+    Benchmarked into a separate ``BENCH_churn.json`` (cell ids never
+    collide with the simulator matrix).
+    """
+
+    graph_kind: str
+    scale: str
+    seed: int
+    k: int = 2
+
+    @property
+    def cell_id(self) -> str:
+        return f"churn-k{self.k}/{self.graph_kind}/{self.scale}/s{self.seed}"
+
+    @property
+    def graph_seed(self) -> int:
+        return 1000 + self.seed
+
+    @property
+    def stream_params(self) -> Tuple[int, int]:
+        """``(batches, batch_size)`` for this cell's scale."""
+        return _CHURN_PARAMS[self.scale]
+
+    def build_graph(self) -> Graph:
+        return _build_host(self.graph_kind, self.scale, self.graph_seed)
+
+
+def churn_matrix(scales: Tuple[str, ...] = SCALES) -> List[ChurnCell]:
+    """The churn workload matrix (smoke subset = ``("smoke",)``)."""
+    return [
+        ChurnCell(kind, scale, seed, k)
+        for scale in scales
+        for k in (2, 3)
+        for kind in _GRAPH_KINDS
+        for seed in SEEDS
+    ]
 
 
 def _matrix(scales: Tuple[str, ...]) -> List[WorkloadCell]:

@@ -28,6 +28,9 @@ from repro.distributed import (
     distributed_skeleton,
     neighborhood_survey,
 )
+from repro.distributed.faults import AMNESIA as AMNESIA_KIND
+from repro.distributed.faults import CRASH as CRASH_KIND
+from repro.distributed.faults import RECOVER as RECOVER_KIND
 from repro.graphs import Graph
 from repro.graphs.generators import erdos_renyi_gnp, grid_2d, watts_strogatz
 from repro.spanner import (
@@ -152,6 +155,36 @@ def test_crash_schedule_degrades_gracefully(protocol):
         report = classify_outcome(g, repaired, baseline_size=len(baseline))
     assert report.ok
     assert stats.fault_events  # crash transitions are on the record
+
+
+@pytest.mark.parametrize("amnesia", [False, True],
+                         ids=["fail-pause", "amnesia"])
+def test_smoke_crash_recover_grades_and_replays(amnesia):
+    """A node recovering mid-run: graded bucket + deterministic edges.
+
+    The reliable layer masks the outage (neighbors' retransmissions
+    carry the node back into lockstep), so the recovered run must grade
+    valid / valid-but-denser — never invalid — and two identical runs
+    must produce the identical repaired edge set.  The protocol nodes
+    inherit ``NodeProgram``'s no-op amnesia hook, so the amnesia variant
+    exercises the schedule path (wipe signal fired, recovery re-joined);
+    real state loss is covered by the churn handshake tests.
+    """
+    g = FAMILIES["gnp"](0)
+    plan = FaultPlan(
+        seed=7,
+        crashes=[CrashSpec(5, crash_round=3, recover_round=6,
+                           amnesia=amnesia)],
+    )
+    edges, stats = run_baswana(g, 0, reliable=True, fault_plan=plan)
+    again, _ = run_baswana(g, 0, reliable=True, fault_plan=plan)
+    assert edges == again  # repaired-edge determinism
+    baseline, _ = run_baswana(g, 0)
+    report = classify_outcome(g, edges, baseline_size=len(baseline))
+    assert report.status != INVALID and report.ok
+    kinds = [e.kind for e in stats.fault_events]
+    assert CRASH_KIND in kinds
+    assert (AMNESIA_KIND if amnesia else RECOVER_KIND) in kinds
 
 
 def test_smoke_crash_repair_restores_connectivity():

@@ -1,0 +1,518 @@
+"""Tests for the self-healing churn subsystem (``repro.churn``).
+
+Covers the update-stream generator, the incrementally maintained
+spanner (region-limited repair, fail-pause vs. amnesia recovery), the
+repair-vs-rebuild policy engine, the batch driver with its grading and
+metrics, the distributed repair handshake, the rebuild-equivalence
+oracle battery, the CLI, and the fuzz-layer integration.  See
+``docs/robustness.md`` for the contracts asserted here.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.churn import (
+    CHURN_ORACLE_NAMES,
+    IncrementalSpanner,
+    RepairPolicy,
+    UpdateEvent,
+    check_churn,
+    churn_stream,
+    events_from_json,
+    events_to_json,
+    repair_handshake,
+    run_churn,
+    spanner_baseline,
+)
+from repro.churn.cli import main as churn_main
+from repro.churn.events import CRASH, DELETE, INSERT, RECOVER
+from repro.churn.policy import (
+    ALWAYS_REBUILD,
+    ALWAYS_REPAIR,
+    BUDGET,
+    REBUILD,
+    REPAIR,
+)
+from repro.fuzz import FuzzCase, case_stream, check_case, materialize
+from repro.graphs.generators import erdos_renyi_gnp, grid_2d
+from repro.graphs.graph import Graph
+from repro.obs.metrics import MetricsRegistry
+from repro.spanner.verification import VALID, VALID_DENSER
+
+
+def host(n=26, p=0.18, seed=5):
+    return erdos_renyi_gnp(n, p, seed=seed)
+
+
+def stream_for(g, batches=5, batch_size=6, seed=3, **kw):
+    kw.setdefault("crash_fraction", 0.2)
+    return churn_stream(g, batches=batches, batch_size=batch_size,
+                        seed=seed, **kw)
+
+
+class TestUpdateEvents:
+    def test_edge_events_need_two_distinct_endpoints(self):
+        with pytest.raises(ValueError):
+            UpdateEvent(INSERT, 3)
+        with pytest.raises(ValueError):
+            UpdateEvent(DELETE, 3, 3)
+
+    def test_node_events_take_one_node(self):
+        with pytest.raises(ValueError):
+            UpdateEvent(CRASH, 1, 2)
+        with pytest.raises(ValueError):
+            UpdateEvent(RECOVER, 1, amnesia=True)
+        with pytest.raises(ValueError):
+            UpdateEvent("reboot", 1)
+
+    def test_json_round_trip(self):
+        events = [
+            UpdateEvent(INSERT, 1, 2),
+            UpdateEvent(DELETE, 4, 3),
+            UpdateEvent(CRASH, 5, amnesia=True),
+            UpdateEvent(CRASH, 6),
+            UpdateEvent(RECOVER, 5),
+        ]
+        data = events_to_json([events])
+        assert events_from_json(data) == [events]
+        # The wire format is plain JSON lists (lives inside reproducers).
+        assert json.loads(json.dumps(data)) == data
+
+    def test_amnesia_flag_survives_serialization(self):
+        rt = UpdateEvent.from_json(UpdateEvent(CRASH, 7, amnesia=True).to_json())
+        assert rt.amnesia
+        rt = UpdateEvent.from_json(UpdateEvent(CRASH, 7).to_json())
+        assert not rt.amnesia
+
+    def test_str_forms(self):
+        assert str(UpdateEvent(INSERT, 1, 2)) == "ins(1,2)"
+        assert "amnesia" in str(UpdateEvent(CRASH, 3, amnesia=True))
+        assert str(UpdateEvent(RECOVER, 3)) == "recover(3)"
+
+
+class TestChurnStream:
+    def test_deterministic(self):
+        g = host()
+        assert stream_for(g) == stream_for(g)
+        assert stream_for(g, seed=3) != stream_for(g, seed=4)
+
+    def test_events_are_consistent_with_evolving_state(self):
+        """Deletes name present edges, inserts absent ones, crashes hit
+        live nodes, recovers hit down ones."""
+        g = host()
+        present = set(g.edges())
+        down = set()
+        for batch in stream_for(g, batches=6, batch_size=8):
+            for ev in batch:
+                if ev.kind == INSERT:
+                    assert ev.edge not in present
+                    present.add(ev.edge)
+                elif ev.kind == DELETE:
+                    assert ev.edge in present
+                    present.discard(ev.edge)
+                elif ev.kind == CRASH:
+                    assert ev.u not in down
+                    down.add(ev.u)
+                else:
+                    assert ev.u in down
+                    down.discard(ev.u)
+
+    def test_stream_ends_with_every_node_up(self):
+        g = host()
+        down = set()
+        for batch in stream_for(g, batches=4, crash_fraction=0.4):
+            for ev in batch:
+                if ev.kind == CRASH:
+                    down.add(ev.u)
+                elif ev.kind == RECOVER:
+                    down.discard(ev.u)
+        assert down == set()
+
+    def test_validation(self):
+        g = host()
+        with pytest.raises(ValueError):
+            churn_stream(g, batches=0, batch_size=3)
+        with pytest.raises(ValueError):
+            churn_stream(g, batches=2, batch_size=3, delete_fraction=1.5)
+        with pytest.raises(ValueError):
+            churn_stream(Graph(vertices=[0]), batches=1, batch_size=1)
+
+
+class TestIncrementalSpanner:
+    def test_initial_build_satisfies_girth_bound_and_invariant(self):
+        g = host()
+        sp = IncrementalSpanner(2, g)
+        assert sp.size <= spanner_baseline(g.n, 2)
+        assert sp.check_invariant()
+        assert sp.uncovered_edges() == []
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            IncrementalSpanner(0)
+
+    def test_insert_offers_immediately(self):
+        g = Graph(vertices=[0, 1, 2, 3])
+        sp = IncrementalSpanner(2, g)
+        sp.begin_batch()
+        assert sp.apply(UpdateEvent(INSERT, 0, 1))
+        assert (0, 1) in sp.spanner
+
+    def test_delete_then_repair_restores_invariant(self):
+        g = host()
+        sp = IncrementalSpanner(2, g)
+        victim = sp.spanner_edges()[0]
+        sp.begin_batch()
+        assert sp.apply(UpdateEvent(DELETE, *victim))
+        sp.execute_repair()
+        assert victim not in sp.spanner
+        assert sp.check_invariant()
+
+    def test_crash_drops_incident_edges_and_records_memory(self):
+        g = host()
+        sp = IncrementalSpanner(2, g)
+        node = max(sp._adj, key=lambda v: len(sp._adj[v]))
+        incident = sp.incident_spanner_edges(node)
+        assert incident
+        sp.begin_batch()
+        sp.apply(UpdateEvent(CRASH, node))
+        assert sp.remembered_edges(node) == tuple(incident)
+        assert sp.incident_spanner_edges(node) == []
+        sp.execute_repair()
+        assert sp.check_invariant()  # live graph excludes the node
+
+    def test_failpause_recovery_leads_with_remembered_edges(self):
+        g = host()
+        sp = IncrementalSpanner(2, g)
+        node = max(sp._adj, key=lambda v: len(sp._adj[v]))
+        sp.begin_batch()
+        sp.apply(UpdateEvent(CRASH, node))
+        sp.execute_repair()
+        remembered = set(sp.remembered_edges(node))
+        sp.begin_batch()
+        sp.apply(UpdateEvent(RECOVER, node))
+        candidates = sp.repair_candidates()
+        lead = candidates[: len(remembered)]
+        assert lead and set(lead) <= remembered
+        sp.execute_repair(candidates)
+        assert sp.check_invariant()
+        # Memory is consumed once the recovery's batch completes.
+        assert sp.remembered_edges(node) == ()
+
+    def test_amnesia_recovery_has_no_memory_priority(self):
+        g = host()
+        sp = IncrementalSpanner(2, g)
+        node = max(sp._adj, key=lambda v: len(sp._adj[v]))
+        sp.begin_batch()
+        sp.apply(UpdateEvent(CRASH, node, amnesia=True))
+        sp.execute_repair()
+        assert node in sp.amnesiac
+        sp.begin_batch()
+        sp.apply(UpdateEvent(RECOVER, node))
+        candidates = sp.repair_candidates()
+        # Canonical region order, not memory order: sorted list.
+        assert candidates == sorted(candidates)
+        sp.execute_repair(candidates)
+        assert sp.check_invariant()
+        assert node not in sp.amnesiac
+
+    def test_rebuild_matches_fresh_build_of_live_graph(self):
+        g = host()
+        sp = IncrementalSpanner(2, g)
+        for batch in stream_for(g, batches=3):
+            sp.begin_batch()
+            for ev in batch:
+                sp.apply(ev)
+            sp.execute_repair()
+        sp.begin_batch()
+        sp.rebuild()
+        fresh = IncrementalSpanner(2, sp.live_graph())
+        assert sp.spanner == fresh.spanner
+        assert sp.full_rebuilds == 1
+
+    def test_noop_events_are_tolerated_and_counted(self):
+        g = Graph(vertices=[0, 1, 2])
+        g.add_edge(0, 1)
+        sp = IncrementalSpanner(2, g)
+        sp.begin_batch()
+        assert not sp.apply(UpdateEvent(INSERT, 0, 1))  # duplicate
+        assert not sp.apply(UpdateEvent(DELETE, 1, 2))  # absent
+        assert not sp.apply(UpdateEvent(RECOVER, 0))    # already up
+        sp.apply(UpdateEvent(CRASH, 2))
+        assert not sp.apply(UpdateEvent(CRASH, 2))      # already down
+        assert sp.stats.ignored == 4
+        assert sp.stats.applied == 1
+
+
+class TestRepairPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RepairPolicy(mode="sometimes")
+        with pytest.raises(ValueError):
+            RepairPolicy(budget_factor=0.0)
+        with pytest.raises(ValueError):
+            RepairPolicy(denser_patience=-1)
+
+    def test_always_modes(self):
+        assert RepairPolicy(mode=ALWAYS_REPAIR).decide(10**6, 1, 99) == REPAIR
+        assert RepairPolicy(mode=ALWAYS_REBUILD).decide(0, 10**6, 0) == REBUILD
+
+    def test_budget_cost_trigger(self):
+        policy = RepairPolicy(mode=BUDGET, budget_factor=0.5)
+        assert policy.decide(10, 100, 0) == REPAIR
+        assert policy.decide(51, 100, 0) == REBUILD
+
+    def test_denser_patience_trigger(self):
+        policy = RepairPolicy(denser_patience=3)
+        assert policy.decide(0, 100, 2) == REPAIR
+        assert policy.decide(0, 100, 3) == REBUILD
+        # Zero disables the degradation trigger entirely.
+        assert RepairPolicy(denser_patience=0).decide(0, 100, 99) == REPAIR
+
+    def test_to_json(self):
+        data = RepairPolicy().to_json()
+        assert data["mode"] == BUDGET
+
+
+class TestEngine:
+    def test_run_grades_every_batch(self):
+        g = host()
+        stream = stream_for(g)
+        result = run_churn(g, 2, stream)
+        assert result.ok
+        assert len(result.batches) == len(stream)
+        assert all(
+            b.grade in (VALID, VALID_DENSER) for b in result.batches
+        )
+        assert result.final_size <= spanner_baseline(g.n, 2)
+
+    def test_replay_is_byte_identical(self):
+        g = host()
+        stream = stream_for(g, crash_fraction=0.3)
+        first = run_churn(g, 2, stream).dumps()
+        second = run_churn(g, 2, stream).dumps()
+        assert first == second
+
+    def test_amnesia_handshakes_run_and_reconstruct(self):
+        """Satellite: a node amnesia-crashes and recovers mid-run; the
+        handshake reconstructs its links and the run replays exactly."""
+        g = grid_2d(5, 5)
+        node = sorted(g.vertices())[12]  # interior: degree 4
+        stream = [
+            [UpdateEvent(CRASH, node, amnesia=True)],
+            [UpdateEvent(RECOVER, node)],
+            [],
+        ]
+        result = run_churn(g, 2, stream)
+        assert result.handshakes == 1
+        assert result.handshakes_ok == 1
+        shake = result.batches[1].handshakes[0]
+        assert shake["ok"]
+        assert shake["node"] == node
+        assert shake["recovered_links"] == shake["expected_links"]
+        assert result.ok and result.final_grade in (VALID, VALID_DENSER)
+        assert run_churn(g, 2, stream).dumps() == result.dumps()
+
+    def test_failpause_recovery_grades_and_replays(self):
+        """Satellite: same scenario under fail-pause — no handshake, the
+        node's own memory drives the re-offers, still deterministic."""
+        g = grid_2d(5, 5)
+        node = sorted(g.vertices())[12]
+        stream = [
+            [UpdateEvent(CRASH, node)],
+            [UpdateEvent(RECOVER, node)],
+        ]
+        result = run_churn(g, 2, stream)
+        assert result.handshakes == 0
+        assert result.ok and result.final_grade in (VALID, VALID_DENSER)
+        assert run_churn(g, 2, stream).dumps() == result.dumps()
+
+    def test_always_rebuild_counts_rebuilds(self):
+        g = host()
+        stream = stream_for(g, batches=3)
+        result = run_churn(
+            g, 2, stream, policy=RepairPolicy(mode=ALWAYS_REBUILD)
+        )
+        assert result.full_rebuilds == 3
+        assert all(b.decision == REBUILD for b in result.batches)
+
+    def test_degradation_windows_recorded_under_tight_slack(self):
+        g = host()
+        stream = stream_for(g, batches=4)
+        result = run_churn(
+            g, 2, stream,
+            policy=RepairPolicy(mode=ALWAYS_REPAIR),
+            size_slack=0.01,
+        )
+        # Every batch grades valid-but-denser: one window spanning all.
+        assert all(b.grade == VALID_DENSER for b in result.batches)
+        assert result.degradation_windows == [len(stream)]
+        assert result.ok  # denser is degraded, not broken
+
+    def test_denser_patience_forces_rebuild(self):
+        g = host()
+        stream = stream_for(g, batches=4)
+        result = run_churn(
+            g, 2, stream,
+            policy=RepairPolicy(mode=BUDGET, budget_factor=10**6,
+                                denser_patience=2),
+            size_slack=0.01,
+        )
+        assert result.full_rebuilds >= 1
+        assert any(b.decision == REBUILD for b in result.batches)
+
+    def test_metrics_emitted(self):
+        g = host()
+        registry = MetricsRegistry()
+        run_churn(g, 2, stream_for(g, batches=3), metrics=registry)
+        snap = registry.snapshot()
+        names = {m["name"] for m in snap["metrics"]} if isinstance(
+            snap, dict
+        ) and "metrics" in snap else set()
+        rendered = registry.render()
+        for name in (
+            "churn_offers",
+            "churn_edges_examined",
+            "churn_decisions",
+            "churn_spanner_size",
+            "churn_repair_rounds",
+            "churn_full_rebuilds",
+        ):
+            assert name in rendered or name in names
+
+
+class TestHandshake:
+    def test_recovers_links_on_explicit_region(self):
+        region = Graph(vertices=[0, 1, 2, 3])
+        for e in ((0, 1), (0, 2), (1, 2), (2, 3)):
+            region.add_edge(*e)
+        # Neighbors 1 and 2 remember sharing a spanner edge with node 0.
+        links = {1: (0, 2), 2: (0, 1, 3), 3: (2,)}
+        report = repair_handshake(region, 0, links, rounds=10)
+        assert report.ok
+        assert report.coverage_ok
+        assert report.recovered_links == (1, 2)
+        assert report.expected_links == (1, 2)
+        assert report.region_size == 4
+        assert report.as_dict()["ok"]
+
+    def test_node_must_be_in_region(self):
+        region = Graph(vertices=[0, 1])
+        region.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            repair_handshake(region, 9, {}, rounds=6)
+
+    def test_disconnected_region_fails_coverage(self):
+        region = Graph(vertices=[0, 1, 2, 3])
+        region.add_edge(0, 1)
+        region.add_edge(2, 3)
+        report = repair_handshake(region, 0, {1: (0,)}, rounds=8)
+        assert not report.coverage_ok
+        assert not report.ok
+
+    def test_handshake_is_deterministic(self):
+        region = Graph(vertices=[0, 1, 2, 3, 4])
+        for e in ((0, 1), (1, 2), (2, 3), (3, 4), (4, 0)):
+            region.add_edge(*e)
+        links = {1: (0,), 4: (0,), 2: (3,), 3: (2,)}
+        a = repair_handshake(region, 0, links, rounds=12)
+        b = repair_handshake(region, 0, links, rounds=12)
+        assert a == b
+        assert a.ok
+
+
+class TestOracle:
+    def test_passes_on_seeded_stream(self):
+        g = host()
+        assert check_churn(g, 2, stream_for(g)) is None
+
+    def test_passes_at_k3(self):
+        g = host(n=20, p=0.25, seed=9)
+        assert check_churn(g, 3, stream_for(g, batches=3)) is None
+
+    def test_unknown_oracle_rejected(self):
+        g = host()
+        with pytest.raises(ValueError):
+            check_churn(g, 2, [], oracles=("churn_psychic",))
+
+    def test_size_oracle_fires_at_tight_slack(self):
+        g = host()
+        failure = check_churn(
+            g, 2, stream_for(g, batches=2), size_slack=0.01
+        )
+        assert failure is not None
+        assert failure[0] in ("churn_size", "churn_grade_match")
+
+    def test_oracle_subset_runs(self):
+        g = host(n=14, p=0.3, seed=2)
+        assert check_churn(
+            g, 2, stream_for(g, batches=2), oracles=("churn_replay",)
+        ) is None
+
+    def test_oracle_names_are_the_fuzz_registry(self):
+        assert set(CHURN_ORACLE_NAMES) == {
+            "churn_invariant",
+            "churn_size",
+            "churn_stretch",
+            "churn_grade_match",
+            "churn_replay",
+        }
+
+
+class TestCli:
+    ARGS = ["--n", "20", "--p", "0.2", "--batches", "2",
+            "--batch-size", "3", "--stream-seed", "1"]
+
+    def test_runs_and_reports(self, capsys):
+        assert churn_main(self.ARGS + ["--oracle"]) == 0
+        out = capsys.readouterr().out
+        assert "final:" in out
+        assert "oracle: rebuild-equivalence battery passed" in out
+
+    def test_json_stdout_is_canonical(self, capsys):
+        assert churn_main(self.ARGS + ["--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert len(payload["batches"]) == 2
+
+    def test_metrics_flag_prints_registry(self, capsys):
+        assert churn_main(self.ARGS + ["--metrics"]) == 0
+        assert "churn_offers" in capsys.readouterr().out
+
+    def test_json_file_output(self, tmp_path, capsys):
+        target = tmp_path / "churn.json"
+        assert churn_main(self.ARGS + ["--json", str(target)]) == 0
+        assert json.loads(target.read_text())["ok"] is True
+
+
+class TestFuzzIntegration:
+    def test_churn_cases_in_stream(self):
+        cases = case_stream(11, 6, protocols=("churn",))
+        assert len(cases) == 6
+        for case in cases:
+            assert case.protocol == "churn"
+            assert case.churn is not None
+            assert case.fault is None  # the stream's crashes ARE the faults
+            assert FuzzCase.from_json(case.to_json()) == case
+
+    def test_materialize_expands_the_stream_recipe(self):
+        case = case_stream(11, 1, protocols=("churn",))[0]
+        mat = materialize(case)
+        assert "events" in mat.churn
+        assert mat.edges is not None
+        # Materializing is idempotent on the expanded stream.
+        assert materialize(mat).churn == mat.churn
+
+    def test_check_case_routes_to_churn_battery(self):
+        for case in case_stream(11, 3, protocols=("churn",)):
+            assert check_case(case) == []
+
+    def test_churn_case_without_stream_is_a_crash_finding(self):
+        case = case_stream(11, 1, protocols=("churn",))[0]
+        from dataclasses import replace
+
+        broken = replace(case, churn=None)
+        failures = check_case(broken)
+        assert failures and failures[0].oracle == "crash"

@@ -13,8 +13,16 @@ from repro.distributed import (
     FaultPlan,
     Network,
     NodeProgram,
+    ReliableConfig,
 )
-from repro.distributed.faults import CRASH, CRASH_DROP, DELAY, DROP, RECOVER
+from repro.distributed.faults import (
+    AMNESIA,
+    CRASH,
+    CRASH_DROP,
+    DELAY,
+    DROP,
+    RECOVER,
+)
 from repro.graphs import complete, path, star
 
 
@@ -204,6 +212,117 @@ class TestCrash:
         plan = FaultPlan(crashes=[CrashSpec(1, crash_round=0)])
         programs, _ = run_recorders(g, plan, rounds=3)
         assert all(src != 1 for _, src, _ in programs[0].heard)
+
+
+class TestCrashSpecValidation:
+    def test_recover_round_must_exceed_crash_round(self):
+        with pytest.raises(ValueError):
+            CrashSpec(1, crash_round=5, recover_round=5)
+        with pytest.raises(ValueError):
+            CrashSpec(1, crash_round=5, recover_round=3)
+
+    def test_valid_window_accepted(self):
+        spec = CrashSpec(1, crash_round=5, recover_round=6)
+        assert spec.down_at(5)
+        assert not spec.down_at(6)
+
+    def test_crash_stop_needs_no_recover_round(self):
+        spec = CrashSpec(2, crash_round=4)
+        assert spec.down_at(10**6)
+
+    def test_amnesia_requires_recover_round(self):
+        with pytest.raises(ValueError):
+            CrashSpec(3, crash_round=2, amnesia=True)
+        spec = CrashSpec(3, crash_round=2, recover_round=4, amnesia=True)
+        assert spec.amnesia
+
+    def test_validation_applies_through_plan_tuples(self):
+        # FaultPlan normalizes crash tuples into CrashSpec, so the same
+        # window check rejects them.
+        with pytest.raises(ValueError):
+            FaultPlan(crashes=[(1, 5, 5)])
+
+
+class AmnesiacRecorder(Recorder):
+    """Recorder that implements the volatile-state-loss hook."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(node_id)
+        self.wipes: List[int] = []
+
+    def on_amnesia_recover(self, api, round_index) -> None:
+        self.wipes.append(round_index)
+        self.heard.clear()
+
+
+def run_amnesiacs(graph, plan, rounds=8):
+    programs = {v: AmnesiacRecorder(v) for v in graph.vertices()}
+    net = Network(graph, programs=programs, fault_plan=plan)
+    net.run(max_rounds=rounds)
+    return programs, net
+
+
+class TestAmnesia:
+    def test_hook_fires_at_recover_round(self):
+        g = complete(4)
+        plan = FaultPlan(
+            seed=1,
+            crashes=[
+                CrashSpec(2, crash_round=3, recover_round=5, amnesia=True)
+            ],
+        )
+        programs, net = run_amnesiacs(g, plan)
+        assert programs[2].wipes == [5]
+        # Volatile state is gone: nothing heard before the wipe survives.
+        assert all(r >= 5 for r, _, _ in programs[2].heard)
+        assert AMNESIA in [e.kind for e in net.stats.fault_events]
+
+    def test_hook_not_fired_for_fail_pause(self):
+        g = complete(4)
+        plan = FaultPlan(
+            seed=1, crashes=[CrashSpec(2, crash_round=3, recover_round=5)]
+        )
+        programs, net = run_amnesiacs(g, plan)
+        assert programs[2].wipes == []
+        # Fail-pause: pre-crash state survives the outage.
+        assert any(r <= 2 for r, _, _ in programs[2].heard)
+        kinds = [e.kind for e in net.stats.fault_events]
+        assert RECOVER in kinds and AMNESIA not in kinds
+
+    def test_default_hook_degrades_to_fail_pause(self):
+        # Programs that predate the hook inherit NodeProgram's no-op:
+        # the amnesia schedule still runs, state is simply retained.
+        g = complete(4)
+        plan = FaultPlan(
+            seed=1,
+            crashes=[
+                CrashSpec(2, crash_round=3, recover_round=5, amnesia=True)
+            ],
+        )
+        programs, net = run_recorders(g, plan, rounds=8)
+        assert any(r <= 2 for r, _, _ in programs[2].heard)
+        assert AMNESIA in [e.kind for e in net.stats.fault_events]
+
+
+class TestReliableConfigValidation:
+    def test_rto_must_be_at_least_one(self):
+        with pytest.raises(ValueError):
+            ReliableConfig(rto=0)
+
+    def test_backoff_must_not_shrink(self):
+        with pytest.raises(ValueError):
+            ReliableConfig(backoff=0.99)
+
+    def test_max_tries_must_allow_a_retry(self):
+        with pytest.raises(ValueError):
+            ReliableConfig(max_tries=0)
+
+    def test_stall_factor_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ReliableConfig(stall_factor=0)
+
+    def test_defaults_construct_and_bound_link_death(self):
+        assert ReliableConfig().death_rounds() >= 1
 
 
 class TestEventLog:

@@ -91,8 +91,10 @@ class TestCaseStream:
         assert all(
             c.fault is None for c in case_stream(0, 20, fault_fraction=0.0)
         )
+        # Churn cases are exempt: their stream's own crash/recover
+        # events are the fault model, so they never get a FaultPlan.
         assert all(
-            c.fault is not None
+            (c.fault is None) == (c.protocol == "churn")
             for c in case_stream(0, 20, fault_fraction=1.0)
         )
 

@@ -31,11 +31,23 @@ def test_corpus_covers_every_protocol():
         "additive",
         "fibonacci",
         "survey",
+        "churn",
     }
 
 
 def test_corpus_includes_a_fault_case():
     assert any(case.fault is not None for _, case, _ in ENTRIES)
+
+
+def test_corpus_includes_a_churn_stream_case():
+    """At least one shrunk churn reproducer with a concrete stream."""
+    streams = [
+        case.churn
+        for _, case, _ in ENTRIES
+        if case.protocol == "churn"
+    ]
+    assert streams
+    assert any("events" in churn for churn in streams)
 
 
 @pytest.mark.parametrize(
