@@ -37,13 +37,25 @@ Churn scenario (see ``docs/robustness.md``)::
     python -m repro churn [--n N] [--k K] [--batches B] [--batch-size E]
                           [--crash-fraction F] [--amnesia-fraction F]
                           [--policy MODE] [--oracle] [--json PATH]
+
+Serving tier (see ``docs/serving.md``)::
+
+    python -m repro build-artifact OUT [--graph K] [--scale S] [--seed N]
+    python -m repro serve BUNDLE [--port P | --unix PATH]
+    python -m repro loadgen --bundle BUNDLE [--connect HOST:PORT]
+                            [--requests N] [--mix M] [--shutdown]
+
+Subcommand dispatch goes through the :data:`SUBCOMMANDS` registry;
+``tests/test_cli_usage.py`` asserts every registered name is
+documented in the usage string.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from importlib import import_module
+from typing import Callable, Dict, List, Optional
 
 from repro.obs import (
     MetricsRegistry,
@@ -225,6 +237,15 @@ subcommands:
         run the self-healing spanner under a seeded edge-churn +
         crash/recovery stream with repair-vs-rebuild policy and
         per-batch grading (exit 1 on degradation) -- docs/robustness.md
+  build-artifact OUT [--graph K] [--scale S] [--seed N] [--k K] [--D D]
+        build a spanner + oracle bundle and save it as a canonical,
+        checksummed artifact file -- docs/serving.md
+  serve BUNDLE [--port P | --unix PATH] [--cache-size N] [--landmarks N]
+        answer dist/route/label queries from a bundle over
+        newline-delimited JSON (TCP or unix socket) -- docs/serving.md
+  loadgen --bundle BUNDLE [--connect HOST:PORT | --unix PATH] ...
+        drive a deterministic seeded query stream at a server (or an
+        in-process one) and report p50/p99/QPS/cache -- docs/serving.md
   [n] [p] [seed]
         (no subcommand) print the measured Fig. 1 comparison table on
         an Erdos-Renyi host G(n, p) (defaults: n=400 p=0.08 seed=2008)
@@ -233,29 +254,45 @@ Use `python -m repro <subcommand> --help` for subcommand options.
 """
 
 
+def _deferred(module: str, attr: str) -> Callable[[List[str]], int]:
+    """A subcommand runner that imports its implementation lazily.
+
+    Keeps ``python -m repro --help`` and the Fig. 1 path from paying
+    the import cost of every subsystem (asyncio serving stack, bench
+    matrix, fuzzing corpus machinery, ...).
+    """
+
+    def run(argv: List[str]) -> int:
+        handler: Callable[[List[str]], int] = getattr(
+            import_module(module), attr
+        )
+        return handler(argv)
+
+    return run
+
+
+#: subcommand name -> runner taking the remaining argv.  The usage
+#: test walks this registry, so adding an entry here without a
+#: ``_USAGE`` line (or vice versa) fails the suite.
+SUBCOMMANDS: Dict[str, Callable[[List[str]], int]] = {
+    "trace": _trace_main,
+    "lint": _deferred("repro.lint.runner", "main"),
+    "bench": _deferred("repro.perf.cli", "main"),
+    "fuzz": _deferred("repro.fuzz.cli", "main"),
+    "churn": _deferred("repro.churn.cli", "main"),
+    "build-artifact": _deferred("repro.serving.cli", "build_artifact_main"),
+    "serve": _deferred("repro.serving.cli", "serve_main"),
+    "loadgen": _deferred("repro.serving.cli", "loadgen_main"),
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] in ("-h", "--help", "help"):
         print(_USAGE, end="")
         return 0
-    if argv and argv[0] == "trace":
-        return _trace_main(argv[1:])
-    if argv and argv[0] == "lint":
-        from repro.lint.runner import main as lint_main
-
-        return lint_main(argv[1:])
-    if argv and argv[0] == "bench":
-        from repro.perf.cli import main as bench_main
-
-        return bench_main(argv[1:])
-    if argv and argv[0] == "fuzz":
-        from repro.fuzz.cli import main as fuzz_main
-
-        return fuzz_main(argv[1:])
-    if argv and argv[0] == "churn":
-        from repro.churn.cli import main as churn_main
-
-        return churn_main(argv[1:])
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]](argv[1:])
     return _fig1(argv)
 
 

@@ -30,20 +30,40 @@ INF = float("inf")
 
 
 class CompactRouter:
-    """A (2k-1)-stretch compact routing scheme over ``graph``."""
+    """A (2k-1)-stretch compact routing scheme over ``graph``.
 
-    def __init__(self, graph: Graph, k: int, seed: SeedLike = None):
+    Pass ``oracle`` to ride an already-built (or artifact-loaded)
+    :class:`DistanceOracle` instead of constructing a fresh one — the
+    serving tier loads one oracle from disk and derives the router and
+    the labeling from it (see :mod:`repro.serving.artifact`).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        k: int,
+        seed: SeedLike = None,
+        oracle: Optional[DistanceOracle] = None,
+    ):
         self.graph = graph
         self.k = k
-        self.oracle = DistanceOracle(graph, k, seed=seed)
+        self.oracle = (
+            oracle if oracle is not None
+            else DistanceOracle(graph, k, seed=seed)
+        )
         # Descend pointers: for each cluster tree, children lists.
         self._children: Dict[int, Dict[int, List[int]]] = {}
-        for w, parents in self.oracle.cluster_tree.items():
+        for w, parents in sorted(self.oracle.cluster_tree.items()):
             children: Dict[int, List[int]] = {}
-            for v, parent in parents.items():
+            for v, parent in sorted(parents.items()):
                 if parent is not None:
                     children.setdefault(parent, []).append(v)
             self._children[w] = children
+
+    @classmethod
+    def from_oracle(cls, oracle: DistanceOracle) -> "CompactRouter":
+        """Wrap an existing oracle (no reconstruction, same answers)."""
+        return cls(oracle.graph, oracle.k, oracle=oracle)
 
     # ------------------------------------------------------------------
     def _select_witness(self, u: int, v: int):
@@ -98,9 +118,18 @@ class CompactRouter:
         return chain
 
     def route(self, u: int, v: int) -> Optional[List[int]]:
-        """The packet's vertex path from u to v (None if disconnected)."""
+        """The packet's vertex path from u to v (None if disconnected).
+
+        The pair is canonicalized like :meth:`DistanceOracle.query`
+        (the u > v route is the u < v route reversed), so the route
+        length always equals the oracle estimate for the same pair and
+        a serving cache may key routes on the unordered pair.
+        """
         if u == v:
             return [u]
+        if u > v:
+            back = self.route(v, u)
+            return None if back is None else back[::-1]
         selected = self._select_witness(u, v)
         if selected is None:
             return None

@@ -20,7 +20,7 @@ Construction (unweighted specialization):
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Sequence, Set
 
 from repro.graphs.graph import Graph
 from repro.graphs.properties import multi_source_bfs
@@ -116,9 +116,18 @@ class DistanceOracle:
         The classical bouncing walk: while p_i(u) is outside B(v), swap
         the endpoints and climb a level.  Termination is guaranteed for
         connected pairs because top-level clusters are unbounded.
+
+        The raw walk is *not* symmetric (its first probe asks whether u
+        lands in B(v), and bunch membership is one-directional), so the
+        pair is canonicalized up front: ``query(u, v) == query(v, u)``
+        always, which is what lets the serving tier cache answers under
+        the unordered pair key.  Both orientations satisfy the same
+        stretch bound, so canonicalizing loses nothing.
         """
         if u == v:
             return 0
+        if u > v:
+            u, v = v, u
         w, i = u, 0
         while w not in self.bunch[v]:
             i += 1
@@ -133,6 +142,81 @@ class DistanceOracle:
     def dist_to_level_of(self, u: int, i: int) -> float:
         """delta(u, A_i) (infinity when A_i is unreachable from u)."""
         return self.dist_to_level[i].get(u, INF)
+
+    # ------------------------------------------------------------------
+    # Serialization (repro.serving.artifact hooks)
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, Any]:
+        """The oracle's complete structure as canonical plain data.
+
+        Every mapping is rendered as a key-sorted pair list, so two
+        oracles built from the same seed serialize to *byte-identical*
+        JSON — the invariant the artifact bundle's checksum (and the
+        service tier's build→save→load round-trip test) relies on.
+        All stored distances are unweighted BFS distances, hence ints;
+        unreachable entries are simply absent.
+        """
+        return {
+            "k": self.k,
+            "levels": [sorted(level) for level in self.levels],
+            "pivot": [sorted(p.items()) for p in self.pivot],
+            "dist_to_level": [
+                sorted(d.items()) for d in self.dist_to_level
+            ],
+            "pivot_parent": [
+                sorted(p.items()) for p in self.pivot_parent
+            ],
+            "bunch": [
+                [v, sorted(b.items())]
+                for v, b in sorted(self.bunch.items())
+            ],
+            "cluster_tree": [
+                [w, sorted(p.items())]
+                for w, p in sorted(self.cluster_tree.items())
+            ],
+        }
+
+    @classmethod
+    def from_state(
+        cls, graph: Graph, state: Dict[str, Any]
+    ) -> "DistanceOracle":
+        """Rebuild an oracle from :meth:`to_state` output (no BFS run).
+
+        Accepts pair lists as either tuples or lists (the shape JSON
+        deserialization produces), so ``from_state(g, to_state())`` and
+        a JSON round trip reconstruct the identical structure.
+        """
+
+        def _pairs(items: Sequence[Sequence[Any]]) -> Dict[int, int]:
+            return {int(a): int(b) for a, b in items}
+
+        def _opt_pairs(
+            items: Sequence[Sequence[Any]],
+        ) -> Dict[int, Optional[int]]:
+            return {
+                int(a): (None if b is None else int(b)) for a, b in items
+            }
+
+        oracle = cls.__new__(cls)
+        oracle.graph = graph
+        oracle.k = int(state["k"])
+        oracle.levels = [{int(v) for v in lvl} for lvl in state["levels"]]
+        oracle.pivot = [_pairs(p) for p in state["pivot"]]
+        oracle.dist_to_level = [
+            {int(v): int(d) for v, d in pairs}
+            for pairs in state["dist_to_level"]
+        ]
+        oracle.pivot_parent = [
+            _opt_pairs(p) for p in state["pivot_parent"]
+        ]
+        oracle.bunch = {
+            int(v): _pairs(pairs) for v, pairs in state["bunch"]
+        }
+        oracle.cluster_tree = {
+            int(w): _opt_pairs(pairs)
+            for w, pairs in state["cluster_tree"]
+        }
+        return oracle
 
     # ------------------------------------------------------------------
     # Introspection

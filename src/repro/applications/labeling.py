@@ -45,8 +45,29 @@ class DistanceLabeling:
     def __init__(self, graph: Graph, k: int, seed: SeedLike = None):
         oracle = DistanceOracle(graph, k, seed=seed)
         self.k = k
-        self._labels: Dict[int, DistanceLabel] = {}
-        for v in graph.vertices():
+        self._labels = self._labels_from_oracle(oracle)
+
+    @classmethod
+    def from_oracle(cls, oracle: DistanceOracle) -> "DistanceLabeling":
+        """Project an existing oracle's structure into labels.
+
+        Labels are a pure function of the oracle state (pivots plus
+        bunches), so an artifact bundle stores the oracle once and the
+        serving tier derives the labeling with this hook — byte-for-
+        byte the same labels a fresh construction would produce.
+        """
+        labeling = cls.__new__(cls)
+        labeling.k = oracle.k
+        labeling._labels = cls._labels_from_oracle(oracle)
+        return labeling
+
+    @staticmethod
+    def _labels_from_oracle(
+        oracle: DistanceOracle,
+    ) -> Dict[int, DistanceLabel]:
+        labels: Dict[int, DistanceLabel] = {}
+        k = oracle.k
+        for v in oracle.graph.vertices():
             pivots: List[Optional[Tuple[int, float]]] = []
             for i in range(k):
                 pivot = oracle.pivot[i].get(v)
@@ -54,12 +75,17 @@ class DistanceLabeling:
                     pivots.append(None)
                 else:
                     pivots.append((pivot, oracle.dist_to_level[i][v]))
-            self._labels[v] = DistanceLabel(
+            labels[v] = DistanceLabel(
                 vertex=v, pivots=pivots, bunch=dict(oracle.bunch[v])
             )
+        return labels
 
     def label(self, v: int) -> DistanceLabel:
         return self._labels[v]
+
+    def vertices(self) -> List[int]:
+        """The labeled vertex set, sorted."""
+        return sorted(self._labels)
 
     @property
     def max_label_words(self) -> int:
@@ -77,10 +103,15 @@ class DistanceLabeling:
         """Approximate delta(u, v) from the two labels alone.
 
         The same bouncing walk as the oracle, but every lookup hits one
-        of the two labels — the decentralized property.
+        of the two labels — the decentralized property.  The pair is
+        canonicalized by vertex id exactly like
+        :meth:`DistanceOracle.query`, so label queries agree with
+        oracle queries on every pair and are symmetric.
         """
         if label_u.vertex == label_v.vertex:
             return 0
+        if label_u.vertex > label_v.vertex:
+            label_u, label_v = label_v, label_u
         a, b = label_u, label_v
         w = a.vertex
         i = 0

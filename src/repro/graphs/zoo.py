@@ -1,0 +1,79 @@
+"""The shared host-graph registry ("graph zoo").
+
+Every subsystem that needs a deterministic benchmark host — the
+simulator bench matrix (:mod:`repro.perf.workloads`), the churn
+workload cells, the serving-tier artifact builder and its load
+generator (:mod:`repro.serving`) — draws from this one table, so
+"the er/smoke host at seed 1001" means the *identical* graph
+everywhere.  Adding a graph family is one entry here, not one edit
+per consumer (ROADMAP: "graph zoo" refactor, first step).
+
+Two scales, mirroring the bench matrix:
+
+* ``smoke`` — small hosts for CI gates (seconds in total);
+* ``e1`` — the EXPERIMENTS.md E1 operating point (Erdős–Rényi
+  ``G(600, 0.02)``) plus comparable grid/hypercube hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.graphs.generators import erdos_renyi_gnp, grid_2d, hypercube
+from repro.graphs.graph import Graph
+
+__all__ = ["GRAPH_KINDS", "HOST_SCALES", "build_host", "host_params"]
+
+#: registered host families, in canonical order.
+GRAPH_KINDS: Tuple[str, ...] = ("er", "grid", "hypercube")
+
+#: registered scales, small to large.
+HOST_SCALES: Tuple[str, ...] = ("smoke", "e1")
+
+#: host-family parameters per scale.  ``e1`` er matches EXPERIMENTS.md
+#: E1 (n=600, p=0.02); grid/hypercube are sized to comparable n.
+_ER_PARAMS: Dict[str, Tuple[int, float]] = {
+    "smoke": (120, 0.06),
+    "e1": (600, 0.02),
+}
+_GRID_PARAMS: Dict[str, Tuple[int, int]] = {
+    "smoke": (10, 12),
+    "e1": (24, 25),
+}
+_HYPERCUBE_DIM: Dict[str, int] = {"smoke": 7, "e1": 9}
+
+
+def host_params(graph_kind: str, scale: str) -> Dict[str, int]:
+    """The registry row for ``(graph_kind, scale)``, as plain data.
+
+    Raises ``ValueError`` for unknown kinds or scales, so callers can
+    validate a recipe without building the graph.
+    """
+    if scale not in HOST_SCALES:
+        raise ValueError(f"unknown host scale: {scale!r}")
+    if graph_kind == "er":
+        n, p = _ER_PARAMS[scale]
+        # p is scaled to an int per-mille so the row stays integral
+        # (and therefore trivially JSON/checksum stable).
+        return {"n": n, "p_permille": int(round(p * 1000))}
+    if graph_kind == "grid":
+        rows, cols = _GRID_PARAMS[scale]
+        return {"rows": rows, "cols": cols}
+    if graph_kind == "hypercube":
+        return {"dim": _HYPERCUBE_DIM[scale]}
+    raise ValueError(f"unknown graph kind: {graph_kind!r}")
+
+
+def build_host(graph_kind: str, scale: str, graph_seed: int) -> Graph:
+    """Construct the registry host (deterministic per arguments).
+
+    The seed only matters for randomized families (``er``); structured
+    hosts ignore it but accept it so every call site is uniform.
+    """
+    params = host_params(graph_kind, scale)  # validates kind + scale
+    if graph_kind == "er":
+        n, p = _ER_PARAMS[scale]
+        return erdos_renyi_gnp(n, p, seed=graph_seed)
+    if graph_kind == "grid":
+        return grid_2d(params["rows"], params["cols"])
+    return hypercube(params["dim"])

@@ -35,9 +35,21 @@ __all__ = [
 #: streams or shrinker are not bit-reproducible cannot emit trustworthy
 #: reproducers.  ``churn/`` joins because its byte-identical replay
 #: contract (same stream, same repair trajectory) is load-bearing for
-#: the rebuild-equivalence oracle.
+#: the rebuild-equivalence oracle.  ``serving/`` joins because both of
+#: its determinism contracts — byte-identical artifact bundles and
+#: replayable loadgen streams / cache-hit counts — break the moment
+#: unseeded randomness or a wall-clock read sneaks in.
 ALGORITHMIC_PACKAGES = frozenset(
-    {"core", "distributed", "graphs", "spanner", "perf", "fuzz", "churn"}
+    {
+        "core",
+        "distributed",
+        "graphs",
+        "spanner",
+        "perf",
+        "fuzz",
+        "churn",
+        "serving",
+    }
 )
 
 

@@ -10,15 +10,18 @@ correctness record.  See ``docs/performance.md``.
 
 from __future__ import annotations
 
-from repro.perf.bench import CellResult, run_cell
+from repro.perf.bench import CellResult, run_cell, run_service_cell
 from repro.perf.compare import ComparisonResult, compare_reports
 from repro.perf.runner import run_matrix
 from repro.perf.workloads import (
     BENCH_PROTOCOLS,
     SCALES,
     SEEDS,
+    SERVICE_MIXES,
+    ServiceCell,
     WorkloadCell,
     full_matrix,
+    service_matrix,
     smoke_matrix,
 )
 
@@ -28,10 +31,14 @@ __all__ = [
     "ComparisonResult",
     "SCALES",
     "SEEDS",
+    "SERVICE_MIXES",
+    "ServiceCell",
     "WorkloadCell",
     "compare_reports",
     "full_matrix",
     "run_cell",
     "run_matrix",
+    "run_service_cell",
+    "service_matrix",
     "smoke_matrix",
 ]

@@ -20,9 +20,9 @@ from time import perf_counter
 from typing import Any, Dict, Optional, Tuple
 
 from repro.obs.runners import run_traced
-from repro.perf.workloads import ChurnCell, WorkloadCell
+from repro.perf.workloads import ChurnCell, ServiceCell, WorkloadCell
 
-__all__ = ["CellResult", "run_cell", "run_churn_cell"]
+__all__ = ["CellResult", "run_cell", "run_churn_cell", "run_service_cell"]
 
 #: one measured cell, as serialized into ``BENCH_*.json``.
 CellResult = Dict[str, Any]
@@ -86,6 +86,76 @@ def run_cell(cell: WorkloadCell, reps: int = 2) -> CellResult:
             round(messages / best_wall, 1) if best_wall > 0 else 0.0
         ),
         "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def run_service_cell(cell: ServiceCell, reps: int = 2) -> CellResult:
+    """Benchmark one serving cell: end-to-end query latency + counts.
+
+    The artifact bundle is built once (outside the timed region — the
+    batch side is not serving cost); each rep starts a *fresh*
+    in-process server with fresh caches and drives the cell's seeded
+    query stream through real localhost sockets on a single pipelined
+    connection, so arrival order — and therefore every LRU/landmark
+    hit — replays identically.  Counts are mapped onto the common
+    report schema as ``rounds`` = requests issued, ``messages`` =
+    responses received, ``words`` = cache hits (LRU + landmark) and
+    asserted identical across reps; the baseline gate treats any
+    drift as a correctness failure, same as simulator counts.  The
+    best-latency rep also contributes service-specific extras
+    (``qps``, ``p50_ms``, ``p99_ms``, ``hit_rate``) that ride along
+    in the report but are not count-gated.
+    """
+    from repro.serving.artifact import build_bundle
+    from repro.serving.loadgen import LoadgenSummary, run_service_benchmark
+
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    bundle = build_bundle(cell.graph_kind, cell.scale, cell.seed, k=cell.k)
+    best: Optional[LoadgenSummary] = None
+    counts: Optional[Tuple[int, int, int]] = None
+    for _ in range(reps):
+        summary = run_service_benchmark(
+            bundle,
+            requests=cell.requests,
+            mix=cell.mix,
+            seed=cell.seed,
+        )
+        rep_counts = (summary.requests, summary.answered, summary.cache_hits)
+        if counts is None:
+            counts = rep_counts
+        elif counts != rep_counts:
+            raise AssertionError(
+                f"nondeterministic cell {cell.cell_id}: "
+                f"{counts} != {rep_counts}"
+            )
+        if best is None or summary.wall_s < best.wall_s:
+            best = summary
+    assert counts is not None and best is not None
+    rounds, messages, words = counts
+    best_wall = best.wall_s
+    return {
+        "cell_id": cell.cell_id,
+        "protocol": "service",
+        "graph_kind": cell.graph_kind,
+        "scale": cell.scale,
+        "seed": cell.seed,
+        "mix": cell.mix,
+        "n": bundle.graph.n,
+        "m": bundle.graph.m,
+        "rounds": rounds,
+        "messages": messages,
+        "words": words,
+        "wall_s": round(best_wall, 6),
+        "rounds_per_s": round(rounds / best_wall, 1) if best_wall > 0 else 0.0,
+        "messages_per_s": (
+            round(messages / best_wall, 1) if best_wall > 0 else 0.0
+        ),
+        "peak_rss_kb": _peak_rss_kb(),
+        "qps": best.qps,
+        "p50_ms": best.p50_ms,
+        "p99_ms": best.p99_ms,
+        "hit_rate": best.hit_rate,
     }
 
 

@@ -29,6 +29,7 @@ from repro.perf.runner import default_jobs, run_matrix
 from repro.perf.workloads import (
     churn_matrix,
     full_matrix,
+    service_matrix,
     smoke_matrix,
 )
 
@@ -55,6 +56,13 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the churn workload matrix instead of the simulator "
              "one (separate BENCH_churn.json trajectory)",
+    )
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help="run the serving-tier workload matrix (query latency over "
+             "an in-process server; separate BENCH_service.json "
+             "trajectory)",
     )
     parser.add_argument(
         "--out",
@@ -143,10 +151,15 @@ def _render_cells(results: List[CellResult]) -> str:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = _parser().parse_args(argv)
+    parser = _parser()
+    args = parser.parse_args(argv)
+    if args.churn and args.service:
+        parser.error("--churn and --service are mutually exclusive")
     cells: List[Any]
     if args.churn:
         cells = churn_matrix(("smoke",) if args.smoke else ("smoke", "e1"))
+    elif args.service:
+        cells = service_matrix(("smoke",) if args.smoke else ("smoke", "e1"))
     else:
         cells = smoke_matrix() if args.smoke else full_matrix()
     if args.list_cells:
@@ -161,11 +174,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             baseline = json.load(handle)
 
     results = run_matrix(cells, jobs=args.jobs, reps=args.reps)
+    if args.churn:
+        kind = "BENCH_churn"
+    elif args.service:
+        kind = "BENCH_service"
+    else:
+        kind = "BENCH_simulator"
     report = build_report(
         results,
         matrix="smoke" if args.smoke else "full",
         reps=args.reps,
-        kind="BENCH_churn" if args.churn else "BENCH_simulator",
+        kind=kind,
     )
     payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
     if args.out == "-":

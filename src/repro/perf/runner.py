@@ -20,12 +20,17 @@ import multiprocessing
 import os
 from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.perf.bench import CellResult, run_cell, run_churn_cell
-from repro.perf.workloads import ChurnCell, WorkloadCell
+from repro.perf.bench import (
+    CellResult,
+    run_cell,
+    run_churn_cell,
+    run_service_cell,
+)
+from repro.perf.workloads import ChurnCell, ServiceCell, WorkloadCell
 
 __all__ = ["default_jobs", "run_matrix"]
 
-_AnyCell = Union[WorkloadCell, ChurnCell]
+_AnyCell = Union[WorkloadCell, ChurnCell, ServiceCell]
 
 
 def default_jobs() -> int:
@@ -38,6 +43,8 @@ def _bench_worker(task: Tuple[_AnyCell, int]) -> CellResult:
     cell, reps = task
     if isinstance(cell, ChurnCell):
         return run_churn_cell(cell, reps=reps)
+    if isinstance(cell, ServiceCell):
+        return run_service_cell(cell, reps=reps)
     return run_cell(cell, reps=reps)
 
 

@@ -23,17 +23,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.graphs.generators import erdos_renyi_gnp, grid_2d, hypercube
 from repro.graphs.graph import Graph
+from repro.graphs.zoo import GRAPH_KINDS, HOST_SCALES, build_host
 
 __all__ = [
     "BENCH_PROTOCOLS",
     "ChurnCell",
     "SCALES",
     "SEEDS",
+    "SERVICE_MIXES",
+    "ServiceCell",
     "WorkloadCell",
     "churn_matrix",
     "full_matrix",
+    "service_matrix",
     "smoke_matrix",
 ]
 
@@ -46,34 +49,12 @@ BENCH_PROTOCOLS: Tuple[str, ...] = ("skeleton", "fibonacci", "baswana_sen")
 #: graph randomness and protocol randomness never share a stream.
 SEEDS: Tuple[int, ...] = (1, 2, 3)
 
-#: host-family parameters per scale.  ``e1`` er matches EXPERIMENTS.md
-#: E1 (n=600, p=0.02); grid/hypercube are sized to comparable n.
-_ER_PARAMS: Dict[str, Tuple[int, float]] = {
-    "smoke": (120, 0.06),
-    "e1": (600, 0.02),
-}
-_GRID_PARAMS: Dict[str, Tuple[int, int]] = {
-    "smoke": (10, 12),
-    "e1": (24, 25),
-}
-_HYPERCUBE_DIM: Dict[str, int] = {"smoke": 7, "e1": 9}
+#: host parameters live in the shared graph zoo (repro.graphs.zoo);
+#: the bench matrix, churn cells and the serving tier all build the
+#: identical hosts through repro.graphs.build_host.
+SCALES: Tuple[str, ...] = HOST_SCALES
 
-SCALES: Tuple[str, ...] = ("smoke", "e1")
-
-_GRAPH_KINDS: Tuple[str, ...] = ("er", "grid", "hypercube")
-
-
-def _build_host(graph_kind: str, scale: str, graph_seed: int) -> Graph:
-    """Shared host-graph dispatch for both cell families."""
-    if graph_kind == "er":
-        n, p = _ER_PARAMS[scale]
-        return erdos_renyi_gnp(n, p, seed=graph_seed)
-    if graph_kind == "grid":
-        rows, cols = _GRID_PARAMS[scale]
-        return grid_2d(rows, cols)
-    if graph_kind == "hypercube":
-        return hypercube(_HYPERCUBE_DIM[scale])
-    raise ValueError(f"unknown graph kind: {graph_kind!r}")
+_GRAPH_KINDS: Tuple[str, ...] = GRAPH_KINDS
 
 
 @dataclass(frozen=True)
@@ -96,7 +77,7 @@ class WorkloadCell:
 
     def build_graph(self) -> Graph:
         """Construct this cell's host graph (deterministic per cell)."""
-        return _build_host(self.graph_kind, self.scale, self.graph_seed)
+        return build_host(self.graph_kind, self.scale, self.graph_seed)
 
 
 #: (batches, batch_size) of the churn update stream per scale.
@@ -137,7 +118,64 @@ class ChurnCell:
         return _CHURN_PARAMS[self.scale]
 
     def build_graph(self) -> Graph:
-        return _build_host(self.graph_kind, self.scale, self.graph_seed)
+        return build_host(self.graph_kind, self.scale, self.graph_seed)
+
+
+#: query mixes exercised by the service bench (see repro.serving.loadgen).
+SERVICE_MIXES: Tuple[str, ...] = ("uniform", "zipf")
+
+#: loadgen request count per scale: enough uniform/smoke traffic to
+#: populate the cache, enough e1 traffic for stable percentiles.
+_SERVICE_REQUESTS: Dict[str, int] = {"smoke": 400, "e1": 1500}
+
+
+@dataclass(frozen=True)
+class ServiceCell:
+    """One serving-tier workload point: host + query mix + seed + k.
+
+    Counts map onto the report schema as query work: ``rounds`` =
+    requests issued, ``messages`` = responses answered, ``words`` =
+    cache hits (LRU + landmark tiers) — all deterministic because the
+    bench loadgen runs a single pipelined connection, so the server
+    processes the seeded query stream in arrival order.  Benchmarked
+    into a separate ``BENCH_service.json`` trajectory.
+    """
+
+    graph_kind: str
+    scale: str
+    seed: int
+    mix: str = "uniform"
+    k: int = 2
+
+    @property
+    def cell_id(self) -> str:
+        return (
+            f"service-k{self.k}/{self.graph_kind}/{self.scale}/"
+            f"{self.mix}/s{self.seed}"
+        )
+
+    @property
+    def graph_seed(self) -> int:
+        return 1000 + self.seed
+
+    @property
+    def requests(self) -> int:
+        """Loadgen request count for this cell's scale."""
+        return _SERVICE_REQUESTS[self.scale]
+
+    def build_graph(self) -> Graph:
+        return build_host(self.graph_kind, self.scale, self.graph_seed)
+
+
+def service_matrix(scales: Tuple[str, ...] = SCALES) -> List[ServiceCell]:
+    """The serving workload matrix (smoke subset = ``("smoke",)``)."""
+    return [
+        ServiceCell(kind, scale, seed, mix)
+        for scale in scales
+        for mix in SERVICE_MIXES
+        for kind in _GRAPH_KINDS
+        for seed in (1,)
+    ]
 
 
 def churn_matrix(scales: Tuple[str, ...] = SCALES) -> List[ChurnCell]:

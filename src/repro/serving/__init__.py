@@ -1,0 +1,56 @@
+"""Spanner-as-a-service: the async query-serving tier.
+
+The paper's artifacts — ultrasparse spanners, Thorup–Zwick distance
+oracles, compact routing tables, distance labelings — are exactly what
+a planet-scale routing or nearest-neighbor service *precomputes* in
+batch and ships to serving.  This package is that serving half:
+
+* :mod:`repro.serving.artifact` — versioned, checksummed on-disk
+  bundles with a byte-identical build→save→load round trip;
+* :mod:`repro.serving.server` — an asyncio server (newline-delimited
+  JSON over TCP or a unix socket) answering stretch-bounded
+  ``dist`` / ``route`` / ``label`` queries with an LRU + landmark
+  cache and event-loop-tick request batching;
+* :mod:`repro.serving.loadgen` — a deterministic seeded load
+  generator (closed/open loop, uniform/zipf mixes) and the service
+  benchmark driver behind ``BENCH_service.json``.
+
+See ``docs/serving.md`` for the architecture and the artifact format
+specification.
+"""
+
+from repro.serving.artifact import (
+    ARTIFACT_SCHEMA,
+    ArtifactBundle,
+    ArtifactError,
+    build_bundle,
+    dumps_bundle,
+    load_bundle,
+    loads_bundle,
+    save_bundle,
+)
+from repro.serving.loadgen import (
+    LoadgenSummary,
+    make_queries,
+    run_loadgen,
+    run_service_benchmark,
+)
+from repro.serving.server import QueryService, ServiceError, SpannerServer
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ArtifactBundle",
+    "ArtifactError",
+    "LoadgenSummary",
+    "QueryService",
+    "ServiceError",
+    "SpannerServer",
+    "build_bundle",
+    "dumps_bundle",
+    "load_bundle",
+    "loads_bundle",
+    "make_queries",
+    "run_loadgen",
+    "run_service_benchmark",
+    "save_bundle",
+]

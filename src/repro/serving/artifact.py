@@ -1,0 +1,261 @@
+"""Versioned artifact bundles: spanner + oracle structures on disk.
+
+A bundle is the hand-off point between the batch half of the system
+(spanner/oracle construction, hours of precompute in a real service)
+and the serving half (:mod:`repro.serving.server`).  The format is a
+single canonical JSON document::
+
+    {
+      "format":   "repro-artifact",
+      "schema":   1,
+      "checksum": "sha256:<hex of the canonical payload bytes>",
+      "payload":  { "recipe": ..., "graph": ..., "spanner": ...,
+                    "oracle": ... }
+    }
+
+Canonicalization rules (the whole point of the format):
+
+* every mapping serializes as a key-sorted pair list (see
+  :meth:`repro.applications.DistanceOracle.to_state`), every set as a
+  sorted list, and the JSON encoder runs with ``sort_keys`` and
+  compact separators — so *building the same artifacts from the same
+  seed twice yields byte-identical files*, and the checksum doubles
+  as a build fingerprint;
+* the oracle structure is stored **once**; the compact router and the
+  distance labeling are canonical projections of it and are
+  re-derived on load (``CompactRouter.from_oracle`` /
+  ``DistanceLabeling.from_oracle``), answer-for-answer identical to
+  the in-memory originals;
+* all stored distances are unweighted BFS distances (ints);
+  unreachable entries are absent, never ``inf`` (``allow_nan=False``
+  enforces this at encode time).
+
+Loading verifies the checksum and the format/schema header and raises
+:class:`ArtifactError` on any mismatch — a serving process never
+answers queries from a truncated or stale bundle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple, Union
+
+from repro.applications.compact_routing import CompactRouter
+from repro.applications.distance_oracle import DistanceOracle
+from repro.applications.labeling import DistanceLabeling
+from repro.core.skeleton import build_skeleton
+from repro.graphs.graph import Graph
+from repro.graphs.zoo import build_host, host_params
+from repro.spanner.spanner import Spanner
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_SCHEMA",
+    "ArtifactBundle",
+    "ArtifactError",
+    "build_bundle",
+    "dumps_bundle",
+    "load_bundle",
+    "loads_bundle",
+    "save_bundle",
+]
+
+ARTIFACT_FORMAT = "repro-artifact"
+ARTIFACT_SCHEMA = 1
+
+#: JSON-primitive types allowed into the serialized spanner metadata.
+_PRIMITIVES = (str, int, float, bool, type(None))
+
+
+class ArtifactError(ValueError):
+    """A bundle failed validation (checksum, format, or schema)."""
+
+
+@dataclass
+class ArtifactBundle:
+    """A loaded (or freshly built) set of servable artifacts."""
+
+    graph: Graph
+    spanner: Spanner
+    oracle: DistanceOracle
+    router: CompactRouter
+    labeling: DistanceLabeling
+    #: how the bundle was built: graph kind/scale/seed, k, D, host row.
+    recipe: Dict[str, Any]
+
+    @property
+    def k(self) -> int:
+        return self.oracle.k
+
+
+def _canonical_dumps(obj: Any) -> str:
+    """The one true JSON encoding (sorted keys, compact, no NaN/inf)."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def _checksum(payload: Dict[str, Any]) -> str:
+    digest = hashlib.sha256(_canonical_dumps(payload).encode()).hexdigest()
+    return f"sha256:{digest}"
+
+
+def _scrub_metadata(metadata: Dict[str, Any]) -> Dict[str, Any]:
+    """The JSON-primitive subset of spanner metadata, key-sorted."""
+    return {
+        key: value
+        for key, value in sorted(metadata.items())
+        if isinstance(value, _PRIMITIVES)
+    }
+
+
+def build_bundle(
+    graph_kind: str,
+    scale: str,
+    seed: int,
+    k: int = 2,
+    D: int = 4,
+) -> ArtifactBundle:
+    """Run the batch side: build host, skeleton spanner, and oracle.
+
+    The host comes from the shared graph zoo at ``graph_seed = 1000 +
+    seed`` (the bench-matrix convention, so a service cell and a
+    simulator cell at the same seed share their host); the skeleton
+    spanner and the Thorup–Zwick oracle are both driven by ``seed``
+    directly.  Everything downstream of this call is deterministic.
+    """
+    recipe: Dict[str, Any] = {
+        "graph_kind": graph_kind,
+        "scale": scale,
+        "seed": seed,
+        "graph_seed": 1000 + seed,
+        "k": k,
+        "D": D,
+        "host": host_params(graph_kind, scale),
+    }
+    graph = build_host(graph_kind, scale, 1000 + seed)
+    spanner = build_skeleton(graph, D=D, seed=seed)
+    oracle = DistanceOracle(graph, k, seed=seed)
+    return ArtifactBundle(
+        graph=graph,
+        spanner=spanner,
+        oracle=oracle,
+        router=CompactRouter.from_oracle(oracle),
+        labeling=DistanceLabeling.from_oracle(oracle),
+        recipe=recipe,
+    )
+
+
+def _graph_section(graph: Graph) -> Dict[str, Any]:
+    return {
+        "vertices": sorted(graph.vertices()),
+        "edges": sorted(graph.edges()),
+    }
+
+
+def bundle_payload(bundle: ArtifactBundle) -> Dict[str, Any]:
+    """The checksummed payload section, as canonical plain data."""
+    return {
+        "recipe": dict(sorted(bundle.recipe.items())),
+        "graph": _graph_section(bundle.graph),
+        "spanner": {
+            "edges": sorted(bundle.spanner.edges),
+            "metadata": _scrub_metadata(bundle.spanner.metadata),
+        },
+        "oracle": bundle.oracle.to_state(),
+    }
+
+
+def _document(bundle: ArtifactBundle) -> Tuple[str, str]:
+    """``(canonical text, checksum)`` of the full bundle document."""
+    payload = bundle_payload(bundle)
+    checksum = _checksum(payload)
+    document = {
+        "format": ARTIFACT_FORMAT,
+        "schema": ARTIFACT_SCHEMA,
+        "checksum": checksum,
+        "payload": payload,
+    }
+    return _canonical_dumps(document) + "\n", checksum
+
+
+def dumps_bundle(bundle: ArtifactBundle) -> str:
+    """Serialize to the canonical bundle document (newline-terminated)."""
+    return _document(bundle)[0]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ArtifactError(message)
+
+
+def loads_bundle(text: str) -> ArtifactBundle:
+    """Parse, verify and materialize a bundle document.
+
+    Raises :class:`ArtifactError` on malformed JSON, a foreign or
+    future format header, or a checksum mismatch.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"bundle is not valid JSON: {exc}") from exc
+    _require(isinstance(document, dict), "bundle document is not an object")
+    _require(
+        document.get("format") == ARTIFACT_FORMAT,
+        f"not a {ARTIFACT_FORMAT} file "
+        f"(format={document.get('format')!r})",
+    )
+    _require(
+        document.get("schema") == ARTIFACT_SCHEMA,
+        f"unsupported artifact schema {document.get('schema')!r} "
+        f"(this build reads schema {ARTIFACT_SCHEMA})",
+    )
+    payload = document.get("payload")
+    _require(isinstance(payload, dict), "bundle payload is not an object")
+    expected = _checksum(payload)
+    _require(
+        document.get("checksum") == expected,
+        f"checksum mismatch: header {document.get('checksum')!r} "
+        f"!= payload {expected!r}",
+    )
+
+    graph_section = payload["graph"]
+    graph = Graph(
+        vertices=[int(v) for v in graph_section["vertices"]],
+        edges=[(int(u), int(v)) for u, v in graph_section["edges"]],
+    )
+    spanner_section = payload["spanner"]
+    spanner = Spanner(
+        graph,
+        [(int(u), int(v)) for u, v in spanner_section["edges"]],
+        metadata=dict(spanner_section.get("metadata", {})),
+    )
+    oracle = DistanceOracle.from_state(graph, payload["oracle"])
+    return ArtifactBundle(
+        graph=graph,
+        spanner=spanner,
+        oracle=oracle,
+        router=CompactRouter.from_oracle(oracle),
+        labeling=DistanceLabeling.from_oracle(oracle),
+        recipe=dict(payload.get("recipe", {})),
+    )
+
+
+_PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_bundle(bundle: ArtifactBundle, path: _PathLike) -> str:
+    """Write the canonical document to ``path``; returns the checksum."""
+    text, checksum = _document(bundle)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return checksum
+
+
+def load_bundle(path: _PathLike) -> ArtifactBundle:
+    """Read and verify a bundle file (see :func:`loads_bundle`)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads_bundle(handle.read())

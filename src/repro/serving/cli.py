@@ -1,0 +1,217 @@
+"""CLI entry points for the serving tier.
+
+Three subcommands of ``python -m repro``::
+
+    python -m repro build-artifact OUT [--graph K] [--scale S]
+                                       [--seed N] [--k K] [--D D]
+    python -m repro serve BUNDLE [--port P | --unix PATH]
+                                 [--cache-size N] [--landmarks N]
+                                 [--max-requests N]
+    python -m repro loadgen --bundle BUNDLE [--connect HOST:PORT |
+                                 --unix PATH] [--requests N] [--mix M]
+                                 [--seed N] [--mode closed|open]
+                                 [--concurrency C] [--pipeline W]
+                                 [--rate R] [--shutdown] [--json PATH]
+
+``loadgen`` always needs ``--bundle`` (the query stream is generated
+from the bundle's vertex set); without ``--connect``/``--unix`` it
+spins up an in-process server on an ephemeral port — the one-command
+smoke test.  With a target address it drives an external server, and
+``--shutdown`` sends the graceful-stop op afterwards (how the CI
+smoke job stops the background server).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+from typing import List, Optional
+
+from repro.graphs.zoo import GRAPH_KINDS, HOST_SCALES
+from repro.serving.artifact import build_bundle, load_bundle, save_bundle
+from repro.serving.loadgen import (
+    MIXES,
+    make_queries,
+    run_loadgen,
+    run_service_benchmark,
+)
+from repro.serving.server import QueryService, SpannerServer
+
+__all__ = ["build_artifact_main", "loadgen_main", "serve_main"]
+
+
+def build_artifact_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro build-artifact",
+        description="Build and save a servable spanner/oracle bundle.",
+    )
+    parser.add_argument("out", help="output bundle path (canonical JSON)")
+    parser.add_argument("--graph", choices=GRAPH_KINDS, default="er",
+                        help="host graph kind (default er)")
+    parser.add_argument("--scale", choices=HOST_SCALES, default="smoke",
+                        help="host scale row (default smoke)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="bench-matrix seed (host uses 1000+seed)")
+    parser.add_argument("--k", type=int, default=2,
+                        help="oracle levels: stretch 2k-1 (default 2)")
+    parser.add_argument("--D", type=int, default=4,
+                        help="skeleton spanner parameter (default 4)")
+    args = parser.parse_args(argv)
+
+    bundle = build_bundle(
+        args.graph, args.scale, args.seed, k=args.k, D=args.D
+    )
+    checksum = save_bundle(bundle, args.out)
+    print(
+        f"{args.out}: {args.graph}/{args.scale} seed={args.seed} "
+        f"k={args.k} n={bundle.graph.n} m={bundle.graph.m} "
+        f"spanner_edges={bundle.spanner.size} {checksum}"
+    )
+    return 0
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve dist/route/label queries from a bundle "
+        "(newline-delimited JSON over TCP or a unix socket).",
+    )
+    parser.add_argument("bundle", help="bundle file from build-artifact")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = ephemeral; default)")
+    parser.add_argument("--unix", dest="unix_path", default=None,
+                        help="serve on this unix socket instead of TCP")
+    parser.add_argument("--cache-size", type=int, default=4096,
+                        help="LRU entries per answer cache (0 disables)")
+    parser.add_argument("--landmarks", type=int, default=8,
+                        help="precomputed landmark vertices (0 disables)")
+    parser.add_argument("--max-requests", type=int, default=None,
+                        help="stop after serving N requests")
+    args = parser.parse_args(argv)
+
+    bundle = load_bundle(args.bundle)
+
+    async def _run() -> None:
+        service = QueryService(
+            bundle,
+            cache_size=args.cache_size,
+            landmarks=args.landmarks,
+        )
+        server = SpannerServer(
+            service,
+            host=args.host,
+            port=args.port,
+            unix_path=args.unix_path,
+            max_requests=args.max_requests,
+        )
+        await server.start()
+        recipe = bundle.recipe
+        where = (
+            args.unix_path
+            if args.unix_path is not None
+            else "{}:{}".format(*(server.address or (args.host, args.port)))
+        )
+        print(
+            f"serving {recipe.get('graph_kind')}/{recipe.get('scale')} "
+            f"(n={bundle.graph.n}, k={bundle.k}) on {where}",
+            flush=True,
+        )
+        await server.wait_closed()
+        stats = service.stats()
+        print(
+            f"served {stats['requests']} requests, cache hit rate "
+            f"{stats['cache']['hit_rate']:.1%}"
+        )
+
+    asyncio.run(_run())
+    return 0
+
+
+def _parse_connect(value: str) -> "tuple[str, str, int]":
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"--connect wants HOST:PORT, got {value!r}"
+        )
+    return ("tcp", host, int(port))
+
+
+def loadgen_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro loadgen",
+        description="Drive a deterministic seeded query stream at a "
+        "spanner server and report latency/throughput/cache stats.",
+    )
+    parser.add_argument("--bundle", required=True,
+                        help="bundle file (query universe; also the "
+                        "in-process server when no target is given)")
+    parser.add_argument("--connect", type=_parse_connect, default=None,
+                        metavar="HOST:PORT",
+                        help="drive an external TCP server")
+    parser.add_argument("--unix", dest="unix_path", default=None,
+                        help="drive an external unix-socket server")
+    parser.add_argument("--requests", type=int, default=400)
+    parser.add_argument("--mix", choices=MIXES, default="uniform")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--mode", choices=("closed", "open"),
+                        default="closed")
+    parser.add_argument("--concurrency", type=int, default=1)
+    parser.add_argument("--pipeline", type=int, default=16,
+                        help="closed-loop in-flight window per client")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="open-loop injection rate (req/s, total)")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="send the graceful-stop op when done")
+    parser.add_argument("--json", dest="json_out", default=None,
+                        help="also write the summary as JSON")
+    args = parser.parse_args(argv)
+
+    bundle = load_bundle(args.bundle)
+    if args.connect is not None and args.unix_path is not None:
+        parser.error("--connect and --unix are mutually exclusive")
+
+    if args.connect is None and args.unix_path is None:
+        summary = run_service_benchmark(
+            bundle,
+            requests=args.requests,
+            mix=args.mix,
+            seed=args.seed,
+            mode=args.mode,
+            concurrency=args.concurrency,
+            pipeline=args.pipeline,
+            rate=args.rate,
+        )
+    else:
+        address = (
+            args.connect
+            if args.connect is not None
+            else ("unix", args.unix_path, 0)
+        )
+        queries = make_queries(
+            sorted(bundle.graph.vertices()),
+            args.requests,
+            mix=args.mix,
+            seed=args.seed,
+        )
+        summary = asyncio.run(
+            run_loadgen(
+                address,
+                queries,
+                mode=args.mode,
+                concurrency=args.concurrency,
+                pipeline=args.pipeline,
+                rate=args.rate,
+                mix=args.mix,
+                seed=args.seed,
+                collect_stats=True,
+                shutdown=args.shutdown,
+            )
+        )
+    print(summary.render())
+    if args.json_out is not None:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(summary.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 1 if summary.errors else 0

@@ -1,0 +1,424 @@
+"""Deterministic seeded load generation against the serving tier.
+
+The query *stream* is a pure function of ``(vertex set, count, mix,
+ops, seed)`` — two loadgen runs at the same seed issue the identical
+request sequence, which is what lets the service bench gate on cache
+hit counts the way the simulator bench gates on message counts.  Only
+the measured latencies vary run to run.
+
+Two traffic shapes:
+
+* ``closed`` loop — each connection keeps a fixed window of
+  ``pipeline`` requests in flight and sends the next request the
+  moment a response lands (throughput-seeking; the bench mode);
+* ``open`` loop — requests are injected at a fixed ``rate`` per
+  second regardless of completions (latency-under-load; queueing
+  delay shows up in the percentiles).
+
+Two vertex popularity mixes: ``uniform``, and ``zipf`` (rank-``r``
+weight ``r**-alpha`` over the sorted vertex ids — the classic skewed
+fan-in of a real service, and what gives an LRU cache something to
+do).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from bisect import bisect_right
+from dataclasses import asdict, dataclass
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.serving.artifact import ArtifactBundle
+from repro.serving.server import QueryService, SpannerServer
+from repro.util.rng import SeedLike, ensure_rng
+
+__all__ = [
+    "LoadgenSummary",
+    "MIXES",
+    "make_queries",
+    "percentile",
+    "run_loadgen",
+    "run_service_benchmark",
+]
+
+MIXES: Tuple[str, ...] = ("uniform", "zipf")
+
+#: default operation mix: distance-heavy, like a routing front end.
+_DEFAULT_OPS: Tuple[Tuple[str, int], ...] = (
+    ("dist", 8),
+    ("route", 1),
+    ("label", 1),
+)
+
+_ZIPF_ALPHA = 1.1
+
+#: an address the loadgen can dial: ("tcp", host, port) or
+#: ("unix", path, 0).
+Address = Tuple[str, str, int]
+
+
+@dataclass
+class LoadgenSummary:
+    """One loadgen run: latency/throughput plus server cache counters."""
+
+    requests: int
+    answered: int
+    errors: int
+    wall_s: float
+    qps: float
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+    mode: str
+    mix: str
+    concurrency: int
+    pipeline: int
+    seed: int
+    cache_hits_lru: int = 0
+    cache_hits_landmark: int = 0
+    cache_misses: int = 0
+    hit_rate: float = 0.0
+    server_stats: Optional[Dict[str, Any]] = None
+
+    @property
+    def cache_hits(self) -> int:
+        return self.cache_hits_lru + self.cache_hits_landmark
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["cache_hits"] = self.cache_hits
+        return data
+
+    def render(self) -> str:
+        return (
+            f"{self.answered}/{self.requests} answered "
+            f"({self.errors} errors) in {self.wall_s:.3f}s — "
+            f"{self.qps:.0f} qps, p50 {self.p50_ms:.3f}ms, "
+            f"p99 {self.p99_ms:.3f}ms, cache hit rate "
+            f"{self.hit_rate:.1%}"
+        )
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """The q-th percentile (nearest-rank) of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    rank = max(0, -(-len(sorted_values) * q // 100) - 1)
+    return sorted_values[min(int(rank), len(sorted_values) - 1)]
+
+
+def _zipf_cumulative(count: int) -> List[float]:
+    weights: List[float] = []
+    total = 0.0
+    for rank in range(1, count + 1):
+        total += rank ** -_ZIPF_ALPHA
+        weights.append(total)
+    return weights
+
+
+def make_queries(
+    vertices: Sequence[int],
+    count: int,
+    mix: str = "uniform",
+    ops: Sequence[Tuple[str, int]] = _DEFAULT_OPS,
+    seed: SeedLike = 0,
+) -> List[Dict[str, Any]]:
+    """The deterministic request stream (decoded request dicts).
+
+    ``mix`` picks vertex popularity (``uniform`` or ``zipf`` over the
+    sorted vertex ids); ``ops`` is a weighted operation table.  The
+    ``id`` field numbers requests 0..count-1 in issue order.
+    """
+    if mix not in MIXES:
+        raise ValueError(f"unknown mix: {mix!r} (choose from {MIXES})")
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    universe = sorted(vertices)
+    if not universe:
+        raise ValueError("empty vertex universe")
+    rng = ensure_rng(seed)
+    cumulative = _zipf_cumulative(len(universe)) if mix == "zipf" else []
+
+    def draw_vertex() -> int:
+        if mix == "uniform":
+            return universe[rng.randrange(len(universe))]
+        index = bisect_right(cumulative, rng.random() * cumulative[-1])
+        return universe[min(index, len(universe) - 1)]
+
+    op_names = [name for name, _ in ops]
+    op_cumulative: List[int] = []
+    op_total = 0
+    for _, weight in ops:
+        op_total += weight
+        op_cumulative.append(op_total)
+
+    queries: List[Dict[str, Any]] = []
+    for rid in range(count):
+        pick = bisect_right(op_cumulative, rng.random() * op_total)
+        op = op_names[min(pick, len(op_names) - 1)]
+        request: Dict[str, Any] = {"id": rid, "op": op}
+        if op == "label":
+            request["v"] = draw_vertex()
+        else:
+            request["u"] = draw_vertex()
+            request["v"] = draw_vertex()
+        queries.append(request)
+    return queries
+
+
+async def _open(address: Address) -> Tuple[
+    asyncio.StreamReader, asyncio.StreamWriter
+]:
+    family, host, port = address
+    if family == "unix":
+        return await asyncio.open_unix_connection(host)
+    if family == "tcp":
+        return await asyncio.open_connection(host, port)
+    raise ValueError(f"unknown address family: {family!r}")
+
+
+def _encode(request: Dict[str, Any]) -> bytes:
+    return json.dumps(request, sort_keys=True).encode() + b"\n"
+
+
+async def _closed_client(
+    address: Address,
+    queries: Sequence[Dict[str, Any]],
+    pipeline: int,
+    latencies: List[float],
+) -> int:
+    """One closed-loop connection; returns its error count."""
+    if not queries:
+        return 0
+    reader, writer = await _open(address)
+    errors = 0
+    pending: Dict[Any, float] = {}
+    next_index = 0
+    window = max(1, min(pipeline, len(queries)))
+    for _ in range(window):
+        request = queries[next_index]
+        pending[request["id"]] = perf_counter()
+        writer.write(_encode(request))
+        next_index += 1
+    await writer.drain()
+    answered = 0
+    while answered < len(queries):
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("server closed mid-run")
+        now = perf_counter()
+        response = json.loads(line)
+        started = pending.pop(response.get("id"), None)
+        if started is not None:
+            latencies.append(now - started)
+        if not response.get("ok"):
+            errors += 1
+        answered += 1
+        if next_index < len(queries):
+            request = queries[next_index]
+            pending[request["id"]] = perf_counter()
+            writer.write(_encode(request))
+            await writer.drain()
+            next_index += 1
+    writer.close()
+    return errors
+
+
+async def _open_client(
+    address: Address,
+    queries: Sequence[Dict[str, Any]],
+    rate: float,
+    latencies: List[float],
+) -> int:
+    """One open-loop connection injecting at ``rate`` req/s."""
+    if not queries:
+        return 0
+    if rate <= 0:
+        raise ValueError("open-loop mode needs rate > 0")
+    reader, writer = await _open(address)
+    pending: Dict[Any, float] = {}
+    interval = 1.0 / rate
+
+    async def sender() -> None:
+        for request in queries:
+            pending[request["id"]] = perf_counter()
+            writer.write(_encode(request))
+            await writer.drain()
+            await asyncio.sleep(interval)
+
+    errors = 0
+    send_task = asyncio.ensure_future(sender())
+    answered = 0
+    try:
+        while answered < len(queries):
+            line = await reader.readline()
+            if not line:
+                raise ConnectionError("server closed mid-run")
+            now = perf_counter()
+            response = json.loads(line)
+            started = pending.pop(response.get("id"), None)
+            if started is not None:
+                latencies.append(now - started)
+            if not response.get("ok"):
+                errors += 1
+            answered += 1
+    finally:
+        if not send_task.done():
+            send_task.cancel()
+            try:
+                await send_task
+            except asyncio.CancelledError:
+                pass
+    writer.close()
+    return errors
+
+
+async def _control_request(
+    address: Address, op: str
+) -> Optional[Dict[str, Any]]:
+    reader, writer = await _open(address)
+    writer.write(_encode({"id": f"ctl-{op}", "op": op}))
+    await writer.drain()
+    line = await reader.readline()
+    writer.close()
+    if not line:
+        return None
+    response: Dict[str, Any] = json.loads(line)
+    return response
+
+
+async def run_loadgen(
+    address: Address,
+    queries: Sequence[Dict[str, Any]],
+    mode: str = "closed",
+    concurrency: int = 1,
+    pipeline: int = 16,
+    rate: Optional[float] = None,
+    mix: str = "uniform",
+    seed: int = 0,
+    collect_stats: bool = True,
+    shutdown: bool = False,
+) -> LoadgenSummary:
+    """Drive ``queries`` at the server and summarize the run.
+
+    ``collect_stats`` asks the server for its cache counters after the
+    last response; ``shutdown`` then sends the graceful-stop op (used
+    by the CI smoke job and the in-process bench).
+    """
+    if mode not in ("closed", "open"):
+        raise ValueError(f"unknown mode: {mode!r}")
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    shards: List[List[Dict[str, Any]]] = [[] for _ in range(concurrency)]
+    for index, query in enumerate(queries):
+        shards[index % concurrency].append(query)
+    latencies: List[float] = []
+    started = perf_counter()
+    if mode == "closed":
+        errors = sum(
+            await asyncio.gather(
+                *(
+                    _closed_client(address, shard, pipeline, latencies)
+                    for shard in shards
+                )
+            )
+        )
+    else:
+        per_rate = (rate or 200.0) / concurrency
+        errors = sum(
+            await asyncio.gather(
+                *(
+                    _open_client(address, shard, per_rate, latencies)
+                    for shard in shards
+                )
+            )
+        )
+    wall = perf_counter() - started
+
+    stats: Optional[Dict[str, Any]] = None
+    if collect_stats:
+        response = await _control_request(address, "stats")
+        if response is not None and response.get("ok"):
+            stats = response["value"]
+    if shutdown:
+        await _control_request(address, "shutdown")
+
+    latencies.sort()
+    cache = (stats or {}).get("cache", {})
+    return LoadgenSummary(
+        requests=len(queries),
+        answered=len(latencies),
+        errors=errors,
+        wall_s=round(wall, 6),
+        qps=round(len(latencies) / wall, 1) if wall > 0 else 0.0,
+        p50_ms=round(percentile(latencies, 50) * 1000, 4),
+        p99_ms=round(percentile(latencies, 99) * 1000, 4),
+        mean_ms=round(
+            sum(latencies) / len(latencies) * 1000, 4
+        ) if latencies else 0.0,
+        mode=mode,
+        mix=mix,
+        concurrency=concurrency,
+        pipeline=pipeline,
+        seed=seed,
+        cache_hits_lru=int(cache.get("hits_lru", 0)),
+        cache_hits_landmark=int(cache.get("hits_landmark", 0)),
+        cache_misses=int(cache.get("misses", 0)),
+        hit_rate=float(cache.get("hit_rate", 0.0)),
+        server_stats=stats,
+    )
+
+
+def run_service_benchmark(
+    bundle: ArtifactBundle,
+    requests: int = 400,
+    mix: str = "uniform",
+    seed: int = 1,
+    mode: str = "closed",
+    concurrency: int = 1,
+    pipeline: int = 16,
+    rate: Optional[float] = None,
+    cache_size: int = 4096,
+    landmarks: int = 8,
+) -> LoadgenSummary:
+    """One self-contained serving measurement, in process.
+
+    Starts a fresh server on an ephemeral localhost port, drives the
+    seeded query stream through real sockets, gracefully stops the
+    server, and returns the summary.  A fresh server per call means
+    fresh caches, so the cache-hit counters are a pure function of the
+    query stream — the property the ``BENCH_service.json`` count gate
+    relies on (single connection keeps arrival order deterministic).
+    """
+    queries = make_queries(
+        sorted(bundle.graph.vertices()), requests, mix=mix, seed=seed
+    )
+
+    async def _run() -> LoadgenSummary:
+        service = QueryService(
+            bundle, cache_size=cache_size, landmarks=landmarks
+        )
+        server = SpannerServer(service, port=0)
+        await server.start()
+        assert server.address is not None
+        host, port = server.address
+        summary = await run_loadgen(
+            ("tcp", host, port),
+            queries,
+            mode=mode,
+            concurrency=concurrency,
+            pipeline=pipeline,
+            rate=rate,
+            mix=mix,
+            seed=seed,
+            collect_stats=True,
+            shutdown=True,
+        )
+        await server.wait_closed()
+        return summary
+
+    return asyncio.run(_run())

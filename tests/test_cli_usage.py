@@ -1,0 +1,56 @@
+"""The `python -m repro` usage string must cover every subcommand.
+
+Dispatch goes through the ``SUBCOMMANDS`` registry; this test is the
+tripwire that keeps the registry and the ``--help`` text in sync —
+adding a subcommand without documenting it (or documenting one that
+does not exist) fails here.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.__main__ import _USAGE, SUBCOMMANDS, main
+
+
+def _documented_names():
+    # Usage entries are two-space-indented lines starting with the
+    # subcommand token, e.g. "  build-artifact OUT [--graph K] ...".
+    names = set()
+    for line in _USAGE.splitlines():
+        match = re.match(r"^  ([a-z][a-z-]*)\b", line)
+        if match:
+            names.add(match.group(1))
+    return names
+
+
+def test_every_subcommand_is_documented():
+    documented = _documented_names()
+    for name in SUBCOMMANDS:
+        assert name in documented, f"{name!r} missing from _USAGE"
+
+
+def test_no_phantom_subcommands_documented():
+    phantom = _documented_names() - set(SUBCOMMANDS)
+    assert not phantom, f"_USAGE documents unregistered: {sorted(phantom)}"
+
+
+def test_expected_registry_members():
+    assert {
+        "trace",
+        "lint",
+        "bench",
+        "fuzz",
+        "churn",
+        "build-artifact",
+        "serve",
+        "loadgen",
+    } == set(SUBCOMMANDS)
+
+
+def test_help_prints_usage(capsys):
+    assert main(["--help"]) == 0
+    out = capsys.readouterr().out
+    assert out == _USAGE
+    for name in SUBCOMMANDS:
+        assert name in out

@@ -1,0 +1,109 @@
+"""Property tests for the serving-facing oracle/router contracts.
+
+The serving tier leans on three properties the unit suites only spot
+check: query symmetry (what legitimizes unordered-pair cache keys),
+the stretch envelope against exact BFS, and route well-formedness for
+*every* returned route.  Hypothesis drives them across random hosts,
+oracle parameters, and vertex pairs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.applications import CompactRouter, DistanceOracle
+from repro.applications.labeling import DistanceLabeling
+from repro.graphs import bfs_distances, erdos_renyi_gnp
+
+INF = float("inf")
+
+
+def _host(n: int, seed: int):
+    # Dense enough to usually connect, sparse enough to have real
+    # multi-hop distances.
+    return erdos_renyi_gnp(n, 4.0 / n, seed=seed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=8, max_value=60),
+    k=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10**6),
+    data=st.data(),
+)
+def test_oracle_query_is_symmetric(n, k, seed, data):
+    graph = _host(n, seed)
+    oracle = DistanceOracle(graph, k, seed=seed + 1)
+    vertex = st.integers(min_value=0, max_value=n - 1)
+    for _ in range(10):
+        u, v = data.draw(vertex), data.draw(vertex)
+        assert oracle.query(u, v) == oracle.query(v, u)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=8, max_value=50),
+    k=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=10**6),
+    source=st.integers(min_value=0, max_value=7),
+)
+def test_oracle_stretch_bound_vs_exact_bfs(n, k, seed, source):
+    graph = _host(n, seed)
+    oracle = DistanceOracle(graph, k, seed=seed + 1)
+    truth = bfs_distances(graph, source)
+    for v in sorted(graph.vertices()):
+        exact = truth.get(v, INF)
+        estimate = oracle.query(source, v)
+        if exact == INF:
+            assert estimate == INF
+        elif v == source:
+            assert estimate == 0
+        else:
+            assert exact <= estimate <= (2 * k - 1) * exact
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=8, max_value=50),
+    k=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=10**6),
+    data=st.data(),
+)
+def test_every_returned_route_verifies(n, k, seed, data):
+    graph = _host(n, seed)
+    router = CompactRouter(graph, k, seed=seed + 1)
+    vertex = st.integers(min_value=0, max_value=n - 1)
+    truth_cache = {}
+    for _ in range(10):
+        u, v = data.draw(vertex), data.draw(vertex)
+        path = router.route(u, v)
+        if u not in truth_cache:
+            truth_cache[u] = bfs_distances(graph, u)
+        reachable = v in truth_cache[u]
+        if not reachable:
+            assert path is None
+            continue
+        assert path is not None
+        assert path[0] == u and path[-1] == v
+        assert router.verify_route(path)  # every hop is a real edge
+        # The scheme's own estimate is the route it actually takes.
+        assert len(path) - 1 == router.oracle.query(u, v)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=8, max_value=40),
+    k=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=10**6),
+    data=st.data(),
+)
+def test_labels_agree_with_oracle(n, k, seed, data):
+    graph = _host(n, seed)
+    oracle = DistanceOracle(graph, k, seed=seed + 1)
+    labeling = DistanceLabeling.from_oracle(oracle)
+    vertex = st.integers(min_value=0, max_value=n - 1)
+    for _ in range(10):
+        u, v = data.draw(vertex), data.draw(vertex)
+        from_labels = labeling.query(labeling.label(u), labeling.label(v))
+        assert from_labels == oracle.query(u, v)
