@@ -19,7 +19,9 @@ Trace tooling (see ``docs/observability.md``)::
 
 Static analysis (see ``docs/static_analysis.md``)::
 
-    python -m repro lint [paths] [--select CODES] [--list-rules]
+    python -m repro lint [paths] [--project] [--select CODES]
+                         [--format {text,json}] [--list-rules]
+                         [--report-unused-suppressions]
 
 Benchmarks (see ``docs/performance.md``)::
 
@@ -221,9 +223,10 @@ _USAGE = """\
 usage: python -m repro [subcommand] ...
 
 subcommands:
-  lint [paths] [--select CODES] [--list-rules]
+  lint [paths] [--project] [--select CODES] [--format {text,json}]
         run the repro-lint static analyzer (REP001-REP005 protocol
-        invariants; exit 1 on findings) -- docs/static_analysis.md
+        invariants; --project adds whole-program rules REP010-REP013;
+        exit 1 on findings) -- docs/static_analysis.md
   trace {record,summary,diff,filter} ...
         record and inspect simulator traces -- docs/observability.md
   bench [--smoke] [--out PATH] [--baseline PATH] ...

@@ -122,6 +122,6 @@ def distributed_combined_spanner(
 def corollary1_uniform_bound(n: int, D: int = 4) -> float:
     """The uniform multiplicative bound the skeleton part contributes
     (Theorem 2's distortion, the Corollary 1 first line)."""
-    from repro.analysis.theory import skeleton_distortion_bound
+    from repro.core.theory import skeleton_distortion_bound
 
     return skeleton_distortion_bound(n, D)

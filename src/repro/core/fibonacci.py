@@ -23,7 +23,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
-from repro.analysis.theory import (
+from repro.core.theory import (
     fib_sampling_probabilities,
     fibonacci_spanner_order_max,
 )

@@ -27,7 +27,7 @@ import math
 from dataclasses import dataclass
 from typing import List
 
-from repro.analysis.theory import s_sequence
+from repro.core.theory import s_sequence
 
 
 @dataclass

@@ -253,6 +253,6 @@ def build_skeleton(
 
 def skeleton_expected_size(n: int, D: int) -> float:
     """Convenience re-export of Lemma 6's explicit size bound."""
-    from repro.analysis.theory import skeleton_size_bound
+    from repro.core.theory import skeleton_size_bound
 
     return skeleton_size_bound(n, D)

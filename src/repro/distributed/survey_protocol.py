@@ -34,7 +34,10 @@ class _SurveyProgram(NodeProgram):
             self.known_edges.add(canonical_edge(self.node_id, u))
         batch = tuple(sorted(self.known_edges))
         for u in api.neighbors:
-            api.send(u, batch)
+            # Unbounded payload is this protocol's *point*: it measures
+            # the linear-size messages Section 2 warns girth-based
+            # surveys need, as the contrast with the skeleton's bound.
+            api.send(u, batch)  # repro-lint: disable=REP012
 
     def on_round(
         self, api: Api, round_index: int, inbox: List[Tuple[int, Any]]
@@ -47,7 +50,9 @@ class _SurveyProgram(NodeProgram):
                     self.known_edges.add(e)
                     fresh.append(e)
         if fresh:
-            api.broadcast(tuple(sorted(fresh)))
+            # Deliberately unbounded flood (see setup): the recorded
+            # max message width is the measured quantity.
+            api.broadcast(tuple(sorted(fresh)))  # repro-lint: disable=REP012
 
 
 def neighborhood_survey(

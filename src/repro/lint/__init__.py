@@ -14,33 +14,78 @@ REP004 obs-guard             obs calls behind ``if obs is not None``
 REP005 iteration-order       no bare-set iteration where order escapes
 ====== ===================== =============================================
 
-Run it as ``python -m repro lint [paths]``; see
+``--project`` mode builds a whole-program context (module-import
+graph, symbol tables, call graph — :mod:`repro.lint.project`) and adds
+the cross-module rule families:
+
+====== ===================== =============================================
+REP010 determinism-taint     no helper-call path to clock/entropy/set-order
+REP011 layering              imports follow the declared layer DAG
+REP012 congest-payload-bound payloads bounded by a constant word count
+REP013 asyncio-safety        serving/ coroutines don't block/drop/race
+====== ===================== =============================================
+
+Run it as ``python -m repro lint [--project] [paths]``; see
 ``docs/static_analysis.md`` for the full catalog and suppression syntax.
 """
 
-from repro.lint.base import ALGORITHMIC_PACKAGES, FileContext, Rule, make_context
+from repro.lint.asyncsafe import AsyncSafetyRule
+from repro.lint.base import (
+    ALGORITHMIC_PACKAGES,
+    FileContext,
+    ProjectRule,
+    Rule,
+    make_context,
+)
+from repro.lint.congest import CongestPayloadRule
 from repro.lint.determinism import DeterminismRule
-from repro.lint.diagnostics import Diagnostic, Suppressions, parse_suppressions
+from repro.lint.diagnostics import (
+    Diagnostic,
+    Directive,
+    Suppressions,
+    parse_suppressions,
+)
 from repro.lint.honesty import HonestyRule
 from repro.lint.iteration import IterationOrderRule
+from repro.lint.layering import LAYER_DAG, LayeringRule
 from repro.lint.messages import MessageDisciplineRule, static_payload_words
 from repro.lint.obsguard import ObsGuardRule
-from repro.lint.runner import ALL_RULES, lint_file, lint_paths, main
+from repro.lint.project import ProjectContext, build_project
+from repro.lint.runner import (
+    ALL_RULES,
+    PROJECT_RULES,
+    lint_file,
+    lint_paths,
+    lint_project,
+    main,
+)
+from repro.lint.taint import TaintRule
 
 __all__ = [
     "ALGORITHMIC_PACKAGES",
     "ALL_RULES",
+    "AsyncSafetyRule",
+    "CongestPayloadRule",
     "Diagnostic",
+    "Directive",
     "DeterminismRule",
     "FileContext",
     "HonestyRule",
     "IterationOrderRule",
+    "LAYER_DAG",
+    "LayeringRule",
     "MessageDisciplineRule",
     "ObsGuardRule",
+    "PROJECT_RULES",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "Suppressions",
+    "TaintRule",
+    "build_project",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "main",
     "make_context",
     "parse_suppressions",

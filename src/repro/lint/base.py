@@ -12,13 +12,17 @@ from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import FrozenSet, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.lint.diagnostics import Diagnostic, Suppressions, parse_suppressions
+
+if TYPE_CHECKING:
+    from repro.lint.project import ProjectContext
 
 __all__ = [
     "ALGORITHMIC_PACKAGES",
     "FileContext",
+    "ProjectRule",
     "Rule",
     "attribute_chain",
     "make_context",
@@ -131,6 +135,34 @@ class Rule:
         return True
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, ctx: FileContext, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+class ProjectRule:
+    """One whole-program rule: a stable code plus a project-wide check.
+
+    Unlike :class:`Rule`, a project rule sees the full
+    :class:`~repro.lint.project.ProjectContext` (module graph, symbol
+    tables, call resolver) and anchors each diagnostic in whichever
+    module it convicts.  Project rules only run under
+    ``repro lint --project``.
+    """
+
+    code: str = "REP000"
+    name: str = ""
+    #: one-line summary for ``--list-rules`` and the docs catalog.
+    summary: str = ""
+
+    def check(self, project: "ProjectContext") -> Iterator[Diagnostic]:
         raise NotImplementedError
 
     def diag(self, ctx: FileContext, node: ast.AST, message: str) -> Diagnostic:

@@ -3,34 +3,57 @@
 Usage (also reachable as ``python -m repro lint``)::
 
     python -m repro lint src               # lint a tree, exit 1 on findings
+    python -m repro lint --project src     # + whole-program rules REP010-013
     python -m repro lint --select REP001,REP005 src/repro/core
+    python -m repro lint --format json src # machine-readable (CI artifact)
     python -m repro lint --list-rules
 
 Diagnostics print as ``path:line:col: REPxxx message`` and are sorted by
-location, so output is deterministic and editor-clickable.  A file that
-fails to parse yields a single ``REP000`` diagnostic instead of crashing
-the run.  Inline ``# repro-lint: disable=REPxxx`` comments suppress
-findings on their line (see :mod:`repro.lint.diagnostics`).
+(path, line, col, code), so output is deterministic and editor-
+clickable; ``--format json`` emits one object per diagnostic instead.
+A file that fails to parse yields a single ``REP000`` diagnostic
+instead of crashing the run.  Inline ``# repro-lint: disable=REPxxx``
+comments suppress findings on their line (see
+:mod:`repro.lint.diagnostics`); ``--report-unused-suppressions`` flags
+directives that no longer suppress anything (code ``REP099``).
+
+File discovery is hardened: duplicate CLI paths (or a file listed both
+directly and via its parent directory) are linted once, and
+``__pycache__``/hidden directories and non-``.py`` files are skipped
+explicitly.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, TextIO
 
-from repro.lint.base import FileContext, Rule, make_context
+from repro.lint.asyncsafe import AsyncSafetyRule
+from repro.lint.base import FileContext, ProjectRule, Rule, make_context
+from repro.lint.congest import CongestPayloadRule
 from repro.lint.determinism import DeterminismRule
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.honesty import HonestyRule
 from repro.lint.iteration import IterationOrderRule
+from repro.lint.layering import LayeringRule
 from repro.lint.messages import MessageDisciplineRule
 from repro.lint.obsguard import ObsGuardRule
+from repro.lint.project import build_project, discover_files
+from repro.lint.taint import TaintRule
 
-__all__ = ["ALL_RULES", "lint_file", "lint_paths", "main"]
+__all__ = [
+    "ALL_RULES",
+    "PROJECT_RULES",
+    "lint_file",
+    "lint_paths",
+    "lint_project",
+    "main",
+]
 
-#: the full rule set, in code order.
+#: the per-file rule set, in code order.
 ALL_RULES: List[Rule] = [
     DeterminismRule(),
     HonestyRule(),
@@ -39,17 +62,44 @@ ALL_RULES: List[Rule] = [
     IterationOrderRule(),
 ]
 
+#: the whole-program rule set (``--project`` mode), in code order.
+PROJECT_RULES: List[ProjectRule] = [
+    TaintRule(),
+    LayeringRule(),
+    CongestPayloadRule(),
+    AsyncSafetyRule(),
+]
 
-def _select_rules(codes: Optional[Iterable[str]]) -> List[Rule]:
+#: pseudo-code for stale ``# repro-lint: disable=`` directives
+#: (``--report-unused-suppressions``); not a selectable rule.
+UNUSED_SUPPRESSION_CODE = "REP099"
+
+
+def _select_rules(
+    codes: Optional[Iterable[str]], project: bool = False
+) -> "tuple[List[Rule], List[ProjectRule]]":
+    project_rules: List[ProjectRule] = (
+        list(PROJECT_RULES) if project else []
+    )
     if codes is None:
-        return list(ALL_RULES)
+        return list(ALL_RULES), project_rules
     wanted = {c.strip().upper() for c in codes if c.strip()}
-    unknown = wanted - {rule.code for rule in ALL_RULES}
+    known = {rule.code for rule in ALL_RULES}
+    known_project = {rule.code for rule in PROJECT_RULES}
+    unknown = wanted - known - known_project
     if unknown:
         raise ValueError(
             f"unknown rule code(s): {', '.join(sorted(unknown))}"
         )
-    return [rule for rule in ALL_RULES if rule.code in wanted]
+    if not project and wanted & known_project:
+        needs = ", ".join(sorted(wanted & known_project))
+        raise ValueError(
+            f"rule(s) {needs} are whole-program rules; add --project"
+        )
+    return (
+        [rule for rule in ALL_RULES if rule.code in wanted],
+        [rule for rule in project_rules if rule.code in wanted],
+    )
 
 
 def lint_file(
@@ -62,23 +112,27 @@ def lint_file(
     try:
         ctx = make_context(path, shown)
     except (SyntaxError, ValueError) as exc:
-        line = getattr(exc, "lineno", None) or 1
-        return [
-            Diagnostic(
-                path=shown,
-                line=line,
-                col=1,
-                code="REP000",
-                message=f"file does not parse: {exc.msg if isinstance(exc, SyntaxError) else exc}",
-            )
-        ]
+        return [_parse_failure(shown, exc)]
     return _run_rules(ctx, rules if rules is not None else ALL_RULES)
+
+
+def _parse_failure(shown: str, exc: Exception) -> Diagnostic:
+    line = getattr(exc, "lineno", None) or 1
+    return Diagnostic(
+        path=shown,
+        line=line,
+        col=1,
+        code="REP000",
+        message=(
+            "file does not parse: "
+            f"{exc.msg if isinstance(exc, SyntaxError) else exc}"
+        ),
+    )
 
 
 def _run_rules(
     ctx: FileContext, rules: Sequence[Rule]
 ) -> List[Diagnostic]:
-    seen = set()
     findings: List[Diagnostic] = []
     for rule in rules:
         if not rule.applies(ctx):
@@ -86,23 +140,25 @@ def _run_rules(
         for diag in rule.check(ctx):
             if ctx.suppressions.active(diag.line, diag.code):
                 continue
-            anchor = (diag.path, diag.line, diag.col, diag.code)
-            if anchor in seen:
-                continue  # nested AST visits can re-find the same spot
-            seen.add(anchor)
             findings.append(diag)
-    return sorted(findings)
+    return _dedupe(findings)
 
 
-def _python_files(root: Path) -> Iterable[Path]:
-    if root.is_file():
-        yield root
-        return
-    yield from sorted(
-        p
-        for p in root.rglob("*.py")
-        if not any(part.startswith(".") for part in p.parts)
-    )
+def _dedupe(findings: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Sort by (path, line, col, code) and drop exact re-finds.
+
+    Nested AST visits can re-find the same spot; sorting first makes
+    the surviving diagnostic deterministic when messages differ.
+    """
+    seen: "set[tuple[str, int, int, str]]" = set()
+    out: List[Diagnostic] = []
+    for diag in sorted(findings):
+        anchor = (diag.path, diag.line, diag.col, diag.code)
+        if anchor in seen:
+            continue
+        seen.add(anchor)
+        out.append(diag)
+    return out
 
 
 def lint_paths(
@@ -112,13 +168,90 @@ def lint_paths(
     """Lint files/trees; missing paths raise :class:`FileNotFoundError`."""
     active = list(rules) if rules is not None else list(ALL_RULES)
     findings: List[Diagnostic] = []
-    for raw in paths:
-        root = Path(raw)
-        if not root.exists():
-            raise FileNotFoundError(raw)
-        for path in _python_files(root):
-            findings.extend(lint_file(path, active))
-    return sorted(findings)
+    for path, shown in discover_files(paths):
+        findings.extend(lint_file(path, active, display_path=shown))
+    return _dedupe(findings)
+
+
+def lint_project(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    project_rules: Optional[Sequence[ProjectRule]] = None,
+    report_unused_suppressions: bool = False,
+) -> List[Diagnostic]:
+    """Whole-program lint: per-file rules + REP010-REP013 over ``paths``.
+
+    Builds the project context once (module graph, symbol tables, call
+    resolver), runs the per-file rules on every module and the project
+    rules on the whole graph, and applies each file's inline
+    suppressions to both.  With ``report_unused_suppressions``,
+    directives that suppressed nothing in the entire run yield
+    ``REP099`` findings.
+    """
+    file_rules = list(rules) if rules is not None else list(ALL_RULES)
+    active_project = (
+        list(project_rules)
+        if project_rules is not None
+        else list(PROJECT_RULES)
+    )
+    project, failures = build_project(paths)
+    findings: List[Diagnostic] = []
+    for _path, shown, exc in failures:
+        findings.append(_parse_failure(shown, exc))
+
+    suppressions_by_path = {
+        module.ctx.display_path: module.ctx.suppressions
+        for module in project.sorted_modules()
+    }
+    for module in project.sorted_modules():
+        findings.extend(_run_rules(module.ctx, file_rules))
+    for rule in active_project:
+        for diag in rule.check(project):
+            supp = suppressions_by_path.get(diag.path)
+            if supp is not None and supp.active(diag.line, diag.code):
+                continue
+            findings.append(diag)
+
+    if report_unused_suppressions:
+        for module in project.sorted_modules():
+            for directive in module.ctx.suppressions.unused_directives():
+                scope = "file-wide " if directive.file_wide else ""
+                findings.append(
+                    Diagnostic(
+                        path=module.ctx.display_path,
+                        line=directive.line,
+                        col=directive.col,
+                        code=UNUSED_SUPPRESSION_CODE,
+                        message=(
+                            f"unused {scope}suppression of "
+                            f"{directive.code}: no finding matches this "
+                            "directive — remove it"
+                        ),
+                    )
+                )
+    return _dedupe(findings)
+
+
+def _render(
+    findings: Sequence[Diagnostic], fmt: str, stream: TextIO
+) -> None:
+    if fmt == "json":
+        payload = [
+            {
+                "path": d.path,
+                "line": d.line,
+                "col": d.col,
+                "code": d.code,
+                "message": d.message,
+            }
+            for d in findings
+        ]
+        print(json.dumps(payload, indent=2), file=stream)
+        return
+    for diag in findings:
+        print(diag.render(), file=stream)
+    if findings:
+        print(f"repro lint: {len(findings)} finding(s)", file=stream)
 
 
 def main(
@@ -131,7 +264,9 @@ def main(
         description=(
             "AST-based checker for the repo's protocol invariants "
             "(determinism, simulation honesty, message discipline, obs "
-            "guards, iteration order). See docs/static_analysis.md."
+            "guards, iteration order; --project adds cross-module "
+            "taint, layering, CONGEST payload bounds and asyncio "
+            "safety). See docs/static_analysis.md."
         ),
     )
     parser.add_argument(
@@ -146,6 +281,28 @@ def main(
         help="comma-separated rule codes to run (default: all)",
     )
     parser.add_argument(
+        "--project",
+        action="store_true",
+        help=(
+            "build the whole-program context (module graph, call "
+            "graph) and run rules REP010-REP013 as well"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json: one object per diagnostic)",
+    )
+    parser.add_argument(
+        "--report-unused-suppressions",
+        action="store_true",
+        help=(
+            "flag repro-lint: disable= comments that suppress nothing "
+            f"({UNUSED_SUPPRESSION_CODE}; implies --project)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
@@ -155,28 +312,37 @@ def main(
     if args.list_rules:
         for rule in ALL_RULES:
             print(f"{rule.code} {rule.name}: {rule.summary}", file=stream)
+        for prule in PROJECT_RULES:
+            print(
+                f"{prule.code} {prule.name} (--project): {prule.summary}",
+                file=stream,
+            )
         return 0
 
+    project_mode = args.project or args.report_unused_suppressions
     try:
-        rules = _select_rules(
-            args.select.split(",") if args.select else None
+        rules, project_rules = _select_rules(
+            args.select.split(",") if args.select else None,
+            project=project_mode,
         )
     except ValueError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
     try:
-        findings = lint_paths(args.paths, rules)
+        if project_mode:
+            findings = lint_project(
+                args.paths,
+                rules,
+                project_rules,
+                report_unused_suppressions=args.report_unused_suppressions,
+            )
+        else:
+            findings = lint_paths(args.paths, rules)
     except FileNotFoundError as exc:
         print(f"repro lint: no such path: {exc}", file=sys.stderr)
         return 2
-    for diag in findings:
-        print(diag.render(), file=stream)
-    if findings:
-        print(
-            f"repro lint: {len(findings)} finding(s)", file=stream
-        )
-        return 1
-    return 0
+    _render(findings, args.format, stream)
+    return 1 if findings else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -27,20 +27,16 @@ Three consumers of the :mod:`repro.obs.trace` event stream:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.distributed.faults import (
-    CRASH,
-    CRASH_DROP,
-    DELAY,
-    DROP,
-    DUPLICATE,
-    LINK_DEAD,
-    RECOVER,
-    REORDER,
-    FaultEvent,
-)
-from repro.distributed.simulator import NetworkStats
+if TYPE_CHECKING:
+    from repro.distributed.simulator import NetworkStats
+
+# NOTE: ``obs`` sits *below* ``distributed`` in the layer DAG (the
+# simulator calls into the tracer), so this module must not import
+# ``repro.distributed`` at module level — that would close an
+# import-time cycle (REP011).  The two reconstruction helpers that
+# genuinely need simulator types import them lazily instead.
 
 __all__ = [
     "TraceDivergence",
@@ -58,8 +54,19 @@ Event = Dict[str, Any]
 # ----------------------------------------------------------------------
 # NetworkStats reconstruction
 # ----------------------------------------------------------------------
-def _segment_stats(events: List[Event]) -> NetworkStats:
+def _segment_stats(events: List[Event]) -> "NetworkStats":
     """Rebuild one network's :class:`NetworkStats` from its events."""
+    from repro.distributed.faults import (
+        CRASH_DROP,
+        DELAY,
+        DROP,
+        DUPLICATE,
+        LINK_DEAD,
+        REORDER,
+        FaultEvent,
+    )
+    from repro.distributed.simulator import NetworkStats
+
     net = events[0] if events and events[0]["e"] == "net" else {}
     cap = net.get("cap")
     limit = net.get("fl", 256)
@@ -99,7 +106,7 @@ def _segment_stats(events: List[Event]) -> NetworkStats:
     return stats
 
 
-def reconstruct_stats(events: Iterable[Event]) -> Optional[NetworkStats]:
+def reconstruct_stats(events: Iterable[Event]) -> Optional["NetworkStats"]:
     """Fold the trace's per-network segments back into one
     :class:`NetworkStats`, exactly as the protocol runners do."""
     segments: List[List[Event]] = []
@@ -146,6 +153,8 @@ class TraceSummary:
 
     @property
     def faults_injected(self) -> int:
+        from repro.distributed.faults import CRASH, LINK_DEAD, RECOVER
+
         return sum(
             count
             for kind, count in self.faults.items()

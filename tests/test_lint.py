@@ -9,6 +9,7 @@ meta-test that the live ``src`` tree is lint-clean.
 from __future__ import annotations
 
 import io
+import json
 import subprocess
 import sys
 import textwrap
@@ -18,9 +19,15 @@ import pytest
 
 from repro.lint import (
     ALL_RULES,
+    PROJECT_RULES,
+    AsyncSafetyRule,
+    CongestPayloadRule,
     Diagnostic,
+    LayeringRule,
+    TaintRule,
     lint_file,
     lint_paths,
+    lint_project,
     parse_suppressions,
 )
 from repro.lint.runner import main as lint_main
@@ -412,3 +419,680 @@ def test_live_src_is_lint_clean():
     findings = lint_paths([str(SRC)])
     rendered = "\n".join(d.render() for d in findings)
     assert findings == [], f"src/ has lint findings:\n{rendered}"
+
+
+# ----------------------------------------------------------------------
+# --project mode: whole-program rules REP010-REP013
+# ----------------------------------------------------------------------
+def test_rep010_cross_module_taint_true_positive(tmp_path):
+    write(
+        tmp_path,
+        "helper.py",
+        """\
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+    )
+    algo = write(
+        tmp_path,
+        "algo.py",
+        """\
+        from helper import stamp
+
+        def run():
+            return stamp()
+        """,
+    )
+    findings = lint_project(
+        [str(tmp_path)], rules=[], project_rules=[TaintRule()]
+    )
+    assert codes(findings) == ["REP010"]
+    (diag,) = findings
+    assert diag.path == str(algo)
+    assert "time.time" in diag.message
+    assert "helper.stamp" in diag.message
+
+
+def test_rep010_transitive_chain_reported(tmp_path):
+    write(
+        tmp_path,
+        "entropy.py",
+        """\
+        import os
+
+        def raw():
+            return os.urandom(8)
+        """,
+    )
+    write(
+        tmp_path,
+        "middle.py",
+        """\
+        from entropy import raw
+
+        def wrapped():
+            return raw()
+        """,
+    )
+    write(
+        tmp_path,
+        "consumer.py",
+        """\
+        from middle import wrapped
+
+        def use():
+            return wrapped()
+        """,
+    )
+    findings = lint_project(
+        [str(tmp_path)], rules=[], project_rules=[TaintRule()]
+    )
+    # consumer -> middle (cross-module, tainted) and middle -> entropy
+    # (cross-module, tainted) are both flagged.
+    assert codes(findings) == ["REP010", "REP010"]
+    messages = " ".join(d.message for d in findings)
+    assert "os.urandom" in messages
+    assert "middle.wrapped -> entropy.raw" in messages
+
+
+def test_rep010_set_order_escape_source(tmp_path):
+    write(
+        tmp_path,
+        "setops.py",
+        """\
+        from typing import Set
+
+        def leak_order(items: Set[int]):
+            return list(items)
+        """,
+    )
+    consumer = write(
+        tmp_path,
+        "uses_setops.py",
+        """\
+        from setops import leak_order
+
+        def pick(xs):
+            return leak_order(set(xs))
+        """,
+    )
+    findings = lint_project(
+        [str(tmp_path)], rules=[], project_rules=[TaintRule()]
+    )
+    assert codes(findings) == ["REP010"]
+    assert findings[0].path == str(consumer)
+    assert "unsorted set iteration" in findings[0].message
+
+
+def test_rep010_clean_helpers_not_flagged(tmp_path):
+    write(
+        tmp_path,
+        "mathy.py",
+        """\
+        from typing import Set
+
+        def double(x):
+            return 2 * x
+
+        def ordered(items: Set[int]):
+            return sorted(items)
+        """,
+    )
+    write(
+        tmp_path,
+        "clean_user.py",
+        """\
+        from mathy import double, ordered
+
+        def run(xs):
+            return double(len(ordered(set(xs))))
+        """,
+    )
+    findings = lint_project(
+        [str(tmp_path)], rules=[], project_rules=[TaintRule()]
+    )
+    assert findings == []
+
+
+def test_rep010_rng_module_is_sanctioned(tmp_path):
+    write(
+        tmp_path,
+        "rng.py",
+        """\
+        import random
+
+        def ensure_rng(seed):
+            return random.Random(seed)
+        """,
+    )
+    write(
+        tmp_path,
+        "seeded_user.py",
+        """\
+        from rng import ensure_rng
+
+        def run(seed):
+            return ensure_rng(seed).random()
+        """,
+    )
+    findings = lint_project(
+        [str(tmp_path)], rules=[], project_rules=[TaintRule()]
+    )
+    assert findings == []
+
+
+def test_rep011_layer_violation_true_positive(tmp_path):
+    pkg = tmp_path / "repro"
+    (pkg / "core").mkdir(parents=True)
+    (pkg / "serving").mkdir()
+    (pkg / "serving" / "svc.py").write_text("X = 1\n", encoding="utf-8")
+    bad = pkg / "core" / "bad.py"
+    bad.write_text(
+        "import repro.serving.svc\nY = repro.serving.svc.X\n",
+        encoding="utf-8",
+    )
+    findings = lint_project(
+        [str(tmp_path)], rules=[], project_rules=[LayeringRule()]
+    )
+    assert codes(findings) == ["REP011"]
+    assert findings[0].path == str(bad)
+    assert "'core' must not import 'serving'" in findings[0].message
+
+
+def test_rep011_function_local_import_is_exempt(tmp_path):
+    pkg = tmp_path / "repro"
+    (pkg / "core").mkdir(parents=True)
+    (pkg / "serving").mkdir()
+    (pkg / "serving" / "svc.py").write_text("X = 1\n", encoding="utf-8")
+    (pkg / "core" / "late.py").write_text(
+        "def peek():\n    import repro.serving.svc\n"
+        "    return repro.serving.svc.X\n",
+        encoding="utf-8",
+    )
+    findings = lint_project(
+        [str(tmp_path)], rules=[], project_rules=[LayeringRule()]
+    )
+    assert findings == []
+
+
+def test_rep011_allowed_direction_is_clean(tmp_path):
+    pkg = tmp_path / "repro"
+    (pkg / "core").mkdir(parents=True)
+    (pkg / "serving").mkdir()
+    (pkg / "core" / "alg.py").write_text("X = 1\n", encoding="utf-8")
+    (pkg / "serving" / "svc.py").write_text(
+        "from repro.core.alg import X\nY = X\n", encoding="utf-8"
+    )
+    findings = lint_project(
+        [str(tmp_path)], rules=[], project_rules=[LayeringRule()]
+    )
+    assert findings == []
+
+
+def test_rep011_import_cycle_detected(tmp_path):
+    write(tmp_path, "alpha.py", "import beta\nA = 1\n")
+    write(tmp_path, "beta.py", "import alpha\nB = 2\n")
+    findings = lint_project(
+        [str(tmp_path)], rules=[], project_rules=[LayeringRule()]
+    )
+    assert codes(findings) == ["REP011"]
+    assert "import-time cycle" in findings[0].message
+    assert "alpha -> beta -> alpha" in findings[0].message
+
+
+def test_rep011_deferred_import_breaks_cycle(tmp_path):
+    write(tmp_path, "gamma.py", "import delta\nA = 1\n")
+    write(
+        tmp_path,
+        "delta.py",
+        "def late():\n    import gamma\n    return gamma.A\n",
+    )
+    findings = lint_project(
+        [str(tmp_path)], rules=[], project_rules=[LayeringRule()]
+    )
+    assert findings == []
+
+
+def test_rep012_unbounded_payload_true_positive(tmp_path):
+    proto = write(
+        tmp_path,
+        "flood_protocol.py",
+        """\
+        from typing import List
+
+        class _Prog:
+            edges: List[int]
+
+            def on_round(self, api, round_index, inbox):
+                api.broadcast(tuple(sorted(self.edges)))
+        """,
+    )
+    findings = lint_project(
+        [str(tmp_path)], rules=[], project_rules=[CongestPayloadRule()]
+    )
+    assert codes(findings) == ["REP012"]
+    assert findings[0].path == str(proto)
+    assert "no constant word bound" in findings[0].message
+
+
+def test_rep012_cross_module_helper_return_type(tmp_path):
+    write(
+        tmp_path,
+        "batching.py",
+        """\
+        from typing import List
+
+        def make_batch(xs: List[int]) -> List[int]:
+            return sorted(xs)
+        """,
+    )
+    write(
+        tmp_path,
+        "batch_protocol.py",
+        """\
+        from batching import make_batch
+
+        class _Prog:
+            def setup(self, api):
+                api.broadcast(make_batch([1, 2, 3]))
+        """,
+    )
+    findings = lint_project(
+        [str(tmp_path)], rules=[], project_rules=[CongestPayloadRule()]
+    )
+    assert codes(findings) == ["REP012"]
+
+
+def test_rep012_bounded_payloads_are_clean(tmp_path):
+    write(
+        tmp_path,
+        "tidy_protocol.py",
+        """\
+        from typing import List, Optional, Tuple
+
+        _JOIN = "join"
+
+        class _Prog:
+            center: int
+            best: Optional[Tuple[int, int, int]]
+            queue: List[int]
+            cap: int
+
+            def setup(self, api):
+                api.broadcast(self.center)
+
+            def on_round(self, api, round_index, inbox):
+                api.broadcast((_JOIN,) + self.best)
+                api.broadcast(tuple(self.queue[: self.cap]))
+                api.broadcast((_JOIN, len(self.queue), round_index > 0))
+        """,
+    )
+    findings = lint_project(
+        [str(tmp_path)], rules=[], project_rules=[CongestPayloadRule()]
+    )
+    assert findings == []
+
+
+def test_rep012_type_alias_resolves_across_modules(tmp_path):
+    write(
+        tmp_path,
+        "shapes.py",
+        """\
+        from typing import Tuple
+
+        Edge = Tuple[int, int]
+        """,
+    )
+    write(
+        tmp_path,
+        "alias_protocol.py",
+        """\
+        from shapes import Edge
+
+        class _Prog:
+            chosen: Edge
+
+            def setup(self, api):
+                api.broadcast(self.chosen)
+        """,
+    )
+    findings = lint_project(
+        [str(tmp_path)], rules=[], project_rules=[CongestPayloadRule()]
+    )
+    assert findings == []
+
+
+def test_rep012_scoped_to_protocol_files(tmp_path):
+    write(
+        tmp_path,
+        "not_a_proto.py",
+        """\
+        from typing import List
+
+        class _Helper:
+            edges: List[int]
+
+            def run(self, api):
+                api.broadcast(tuple(self.edges))
+        """,
+    )
+    findings = lint_project(
+        [str(tmp_path)], rules=[], project_rules=[CongestPayloadRule()]
+    )
+    assert findings == []
+
+
+def test_rep013_blocking_call_in_coroutine(tmp_path):
+    path = write(
+        tmp_path,
+        "slow_server.py",
+        """\
+        import time
+
+        async def handle(conn):
+            time.sleep(0.1)
+            return conn
+        """,
+    )
+    findings = lint_project(
+        [str(tmp_path)], rules=[], project_rules=[AsyncSafetyRule()]
+    )
+    assert codes(findings) == ["REP013"]
+    assert findings[0].path == str(path)
+    assert "time.sleep" in findings[0].message
+
+
+def test_rep013_sync_open_in_coroutine(tmp_path):
+    write(
+        tmp_path,
+        "filey_server.py",
+        """\
+        async def dump(data):
+            with open("out.json", "w") as fh:
+                fh.write(data)
+        """,
+    )
+    findings = lint_project(
+        [str(tmp_path)], rules=[], project_rules=[AsyncSafetyRule()]
+    )
+    assert codes(findings) == ["REP013"]
+    assert "open()" in findings[0].message
+
+
+def test_rep013_unawaited_coroutine(tmp_path):
+    write(
+        tmp_path,
+        "droppy_server.py",
+        """\
+        class Server:
+            async def _drain(self):
+                return 1
+
+            async def close(self):
+                self._drain()
+        """,
+    )
+    findings = lint_project(
+        [str(tmp_path)], rules=[], project_rules=[AsyncSafetyRule()]
+    )
+    assert codes(findings) == ["REP013"]
+    assert "never awaited" in findings[0].message
+
+
+def test_rep013_shared_state_race(tmp_path):
+    write(
+        tmp_path,
+        "racy_server.py",
+        """\
+        class Server:
+            async def _drain_loop(self):
+                self.served += 1
+
+            async def handle(self, req):
+                self.served = self.compute(req)
+        """,
+    )
+    findings = lint_project(
+        [str(tmp_path)], rules=[], project_rules=[AsyncSafetyRule()]
+    )
+    assert codes(findings) == ["REP013"]
+    assert "self.served" in findings[0].message
+    assert "drain-loop" in findings[0].message
+
+
+def test_rep013_clean_async_patterns(tmp_path):
+    write(
+        tmp_path,
+        "good_server.py",
+        """\
+        import asyncio
+
+        class Server:
+            async def _drain_loop(self):
+                self._served += 1
+                await asyncio.sleep(0)
+
+            async def close(self):
+                self._shutting_down = True
+                await self._drain()
+
+            async def _drain(self):
+                self._shutting_down = True
+        """,
+    )
+    findings = lint_project(
+        [str(tmp_path)], rules=[], project_rules=[AsyncSafetyRule()]
+    )
+    assert findings == []
+
+
+def test_project_mode_inline_suppressions_apply(tmp_path):
+    write(
+        tmp_path,
+        "sup_helper.py",
+        """\
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+    )
+    write(
+        tmp_path,
+        "sup_user.py",
+        """\
+        from sup_helper import stamp
+
+        def run():
+            return stamp()  # repro-lint: disable=REP010
+        """,
+    )
+    findings = lint_project(
+        [str(tmp_path)], rules=[], project_rules=[TaintRule()]
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Satellites: unused suppressions, json output, runner hardening
+# ----------------------------------------------------------------------
+def test_unused_suppression_reported(tmp_path):
+    path = write(
+        tmp_path,
+        "stale.py",
+        """\
+        x = 1  # repro-lint: disable=REP001
+        """,
+    )
+    findings = lint_project(
+        [str(tmp_path)], report_unused_suppressions=True
+    )
+    assert codes(findings) == ["REP099"]
+    assert findings[0].path == str(path)
+    assert "REP001" in findings[0].message
+
+    # without the flag, stale directives stay silent
+    assert lint_project([str(tmp_path)]) == []
+
+
+def test_used_suppression_not_reported(tmp_path):
+    write(
+        tmp_path,
+        "used.py",
+        """\
+        import time
+
+        def f():
+            return time.time()  # repro-lint: disable=REP001
+        """,
+    )
+    findings = lint_project(
+        [str(tmp_path)], report_unused_suppressions=True
+    )
+    assert findings == []
+
+
+def test_cli_report_unused_suppressions(tmp_path):
+    write(tmp_path, "stale2.py", "y = 2  # repro-lint: disable=REP005\n")
+    out = io.StringIO()
+    assert (
+        lint_main(
+            ["--report-unused-suppressions", str(tmp_path)], out=out
+        )
+        == 1
+    )
+    assert "REP099" in out.getvalue()
+
+
+def test_cli_format_json(tmp_path):
+    bad = write(tmp_path, "bad_json.py", "import time\nt = time.time()\n")
+    out = io.StringIO()
+    assert lint_main(["--format", "json", str(bad)], out=out) == 1
+    payload = json.loads(out.getvalue())
+    assert isinstance(payload, list) and payload
+    first = payload[0]
+    assert set(first) == {"path", "line", "col", "code", "message"}
+    assert first["code"] == "REP001"
+    assert first["path"] == str(bad)
+
+    # clean tree: an empty JSON array, exit 0
+    out2 = io.StringIO()
+    clean = write(tmp_path, "clean_json.py", "x = 1\n")
+    assert lint_main(["--format", "json", str(clean)], out=out2) == 0
+    assert json.loads(out2.getvalue()) == []
+
+
+def test_runner_dedupes_duplicate_paths(tmp_path):
+    bad = write(tmp_path, "dup.py", "import time\nt = time.time()\n")
+    once = lint_paths([str(bad)])
+    twice = lint_paths([str(bad), str(bad)])
+    via_dir_and_file = lint_paths([str(tmp_path), str(bad)])
+    assert codes(once) == ["REP001"]
+    assert twice == once
+    assert via_dir_and_file == once
+
+
+def test_runner_skips_pycache_and_non_py(tmp_path):
+    cache = tmp_path / "__pycache__"
+    cache.mkdir()
+    (cache / "junk.py").write_text(
+        "import time\nt = time.time()\n", encoding="utf-8"
+    )
+    (tmp_path / "notes.txt").write_text("import time\n", encoding="utf-8")
+    write(tmp_path, "real.py", "import time\nt = time.time()\n")
+    findings = lint_paths([str(tmp_path)])
+    assert [d.path for d in findings] == [str(tmp_path / "real.py")]
+    # a non-.py file passed explicitly is skipped, not parsed
+    assert lint_paths([str(tmp_path / "notes.txt")]) == []
+
+
+def test_diagnostic_ordering_is_pinned(tmp_path):
+    write(
+        tmp_path,
+        "a_order.py",
+        """\
+        import time
+
+        def f():
+            t = time.time()
+            return [x for x in {1, 2}]
+        """,
+    )
+    write(tmp_path, "b_order.py", "import time\nt = time.time()\n")
+    findings = lint_paths([str(tmp_path)])
+    keys = [(d.path, d.line, d.col, d.code) for d in findings]
+    assert keys == sorted(keys)
+    assert findings == sorted(findings)
+
+
+def test_project_diagnostics_byte_identical_across_runs(tmp_path):
+    write(
+        tmp_path,
+        "det_helper.py",
+        """\
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+    )
+    write(
+        tmp_path,
+        "det_user_protocol.py",
+        """\
+        from typing import List
+
+        from det_helper import stamp
+
+        class _Prog:
+            edges: List[int]
+
+            def setup(self, api):
+                self.t = stamp()
+                api.broadcast(tuple(self.edges))
+        """,
+    )
+    first = lint_project([str(tmp_path)])
+    second = lint_project([str(tmp_path)])
+    render_a = "\n".join(d.render() for d in first).encode("utf-8")
+    render_b = "\n".join(d.render() for d in second).encode("utf-8")
+    assert render_a == render_b
+    assert {"REP010", "REP012"} <= set(codes(first))
+
+
+def test_cli_project_rule_without_flag_is_an_error(tmp_path):
+    good = write(tmp_path, "okay.py", "x = 1\n")
+    assert lint_main(["--select", "REP011", str(good)], out=io.StringIO()) == 2
+    assert (
+        lint_main(
+            ["--project", "--select", "REP011", str(good)],
+            out=io.StringIO(),
+        )
+        == 0
+    )
+
+
+def test_cli_list_rules_includes_project_rules():
+    out = io.StringIO()
+    assert lint_main(["--list-rules"], out=out) == 0
+    text = out.getvalue()
+    for rule in PROJECT_RULES:
+        assert rule.code in text
+    assert "--project" in text
+
+
+# ----------------------------------------------------------------------
+# Meta-test: the live tree is clean under --project too
+# ----------------------------------------------------------------------
+def test_live_src_is_project_clean():
+    findings = lint_project([str(SRC)])
+    rendered = "\n".join(d.render() for d in findings)
+    assert findings == [], f"src/ has project-lint findings:\n{rendered}"
+
+
+def test_live_src_has_no_unused_suppressions():
+    findings = lint_project([str(SRC)], report_unused_suppressions=True)
+    rendered = "\n".join(d.render() for d in findings)
+    assert findings == [], f"stale suppressions in src/:\n{rendered}"

@@ -1,0 +1,87 @@
+"""Tests for the shared host-graph registry (``graphs/zoo.py``).
+
+Every subsystem (bench matrix, churn cells, serving artifacts) draws
+hosts from this one table, so the table's two views must agree:
+``host_params`` (the plain-data registry row) and ``build_host`` (the
+constructed graph) are checked cell by cell for every
+``(family, scale)`` pair, unknown keys must raise cleanly, smoke hosts
+must stay CI-sized, and construction must be deterministic per
+``(family, scale, seed)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.zoo import GRAPH_KINDS, HOST_SCALES, build_host, host_params
+
+ALL_CELLS = [
+    (kind, scale) for kind in GRAPH_KINDS for scale in HOST_SCALES
+]
+
+
+@pytest.mark.parametrize("kind,scale", ALL_CELLS)
+def test_host_params_and_build_host_agree(kind, scale):
+    params = host_params(kind, scale)
+    graph = build_host(kind, scale, graph_seed=1001)
+    if kind == "er":
+        assert set(params) == {"n", "p_permille"}
+        assert graph.n == params["n"]
+        assert 0 < params["p_permille"] < 1000
+    elif kind == "grid":
+        assert set(params) == {"rows", "cols"}
+        assert graph.n == params["rows"] * params["cols"]
+    elif kind == "hypercube":
+        assert set(params) == {"dim"}
+        assert graph.n == 2 ** params["dim"]
+        # every vertex of a dim-cube has degree dim
+        assert all(
+            graph.degree(v) == params["dim"] for v in graph.vertices()
+        )
+    else:  # pragma: no cover - registry grew without a test arm
+        pytest.fail(f"unhandled graph kind {kind!r}")
+    assert graph.m > 0
+
+
+@pytest.mark.parametrize("kind,scale", ALL_CELLS)
+def test_build_host_is_deterministic(kind, scale):
+    a = build_host(kind, scale, graph_seed=7)
+    b = build_host(kind, scale, graph_seed=7)
+    assert sorted(a.edges()) == sorted(b.edges())
+    assert sorted(a.vertices()) == sorted(b.vertices())
+
+
+def test_er_seed_actually_matters():
+    a = build_host("er", "smoke", graph_seed=1)
+    b = build_host("er", "smoke", graph_seed=2)
+    assert sorted(a.edges()) != sorted(b.edges())
+
+
+@pytest.mark.parametrize("kind", GRAPH_KINDS)
+def test_unknown_scale_raises(kind):
+    with pytest.raises(ValueError, match="unknown host scale"):
+        host_params(kind, "galactic")
+    with pytest.raises(ValueError, match="unknown host scale"):
+        build_host(kind, "galactic", graph_seed=0)
+
+
+@pytest.mark.parametrize("scale", HOST_SCALES)
+def test_unknown_kind_raises(scale):
+    with pytest.raises(ValueError, match="unknown graph kind"):
+        host_params("torus", scale)
+    with pytest.raises(ValueError, match="unknown graph kind"):
+        build_host("torus", scale, graph_seed=0)
+
+
+@pytest.mark.parametrize("kind", GRAPH_KINDS)
+def test_smoke_hosts_stay_ci_sized(kind):
+    graph = build_host(kind, "smoke", graph_seed=1001)
+    assert graph.n <= 150, "smoke hosts must stay seconds-cheap in CI"
+    assert graph.m <= 1500
+
+
+def test_registry_order_is_canonical():
+    # Consumers iterate these tuples to build matrices; the order is
+    # part of the bench-cell naming contract.
+    assert GRAPH_KINDS == ("er", "grid", "hypercube")
+    assert HOST_SCALES == ("smoke", "e1")
