@@ -71,6 +71,12 @@ class _ExchangeProgram(NodeProgram):
             api.halt()
 
 
+def _drafted_vertices(programs: Dict[int, _ExchangeProgram]) -> Set[int]:
+    """Engine-agnostic drafted-dominator gather (picklable for the
+    sharded engine's workers; see ``Network.apply_programs``)."""
+    return {v for v, prog in programs.items() if prog.drafted}
+
+
 def distributed_additive2(
     graph: Graph,
     threshold: Optional[int] = None,
@@ -80,6 +86,7 @@ def distributed_additive2(
     reliable: bool = False,
     reliable_config: Optional[ReliableConfig] = None,
     obs: Optional[Obs] = None,
+    shards: Optional[int] = None,
 ) -> Spanner:
     """Build an additive 2-spanner by message passing.
 
@@ -119,11 +126,11 @@ def distributed_additive2(
             reliable=reliable,
             reliable_config=reliable_config,
             obs=obs,
+            shards=shards,
         )
         exchange_stats = network.run(max_rounds=4)
-    for v, prog in programs.items():
-        if prog.drafted:
-            dominators.add(v)
+    for drafted in network.apply_programs(_drafted_vertices):
+        dominators |= drafted
 
     edges: Set[Edge] = set()
     heavy = {v for v in graph.vertices() if graph.degree(v) >= threshold}
@@ -148,6 +155,7 @@ def distributed_additive2(
         reliable_config=reliable_config,
         obs=obs,
         phase="trees",
+        shards=shards,
     )
     for v, sources in known.items():
         for s, (_, parent) in sources.items():

@@ -29,6 +29,15 @@ from repro.spanner.spanner import Spanner
 from repro.util.rng import SeedLike, make_prf
 
 
+def _program_edges(programs: Dict[int, NodeProgram]) -> Set[Edge]:
+    """Engine-agnostic final edge gather (picklable for the sharded
+    engine's workers; see ``Network.apply_programs``)."""
+    edges: Set[Edge] = set()
+    for program in programs.values():
+        edges |= program.edges  # type: ignore[attr-defined]
+    return edges
+
+
 def _run_phased(network, k: int, obs: Optional[Obs]) -> None:
     """Drive the 2k-round clustering as k two-round phases.
 
@@ -186,6 +195,7 @@ def distributed_baswana_sen_weighted(
     reliable: bool = False,
     reliable_config: Optional[ReliableConfig] = None,
     obs: Optional[Obs] = None,
+    shards: Optional[int] = None,
 ):
     """Run the weighted (2k-1)-spanner protocol (Fig. 1's first row).
 
@@ -216,12 +226,13 @@ def distributed_baswana_sen_weighted(
         reliable=reliable,
         reliable_config=reliable_config,
         obs=obs,
+        shards=shards,
     )
     _run_phased(network, k, obs)
     stats = network.stats
     edges: Set[Edge] = set()
-    for program in programs.values():
-        edges |= program.edges
+    for shard_edges in network.apply_programs(_program_edges):
+        edges |= shard_edges
     return edges, stats
 
 
@@ -234,6 +245,7 @@ def distributed_baswana_sen(
     reliable: bool = False,
     reliable_config: Optional[ReliableConfig] = None,
     obs: Optional[Obs] = None,
+    shards: Optional[int] = None,
 ) -> Spanner:
     """Run the distributed (2k-1)-spanner protocol; 2k rounds, unit messages.
 
@@ -264,12 +276,13 @@ def distributed_baswana_sen(
         reliable=reliable,
         reliable_config=reliable_config,
         obs=obs,
+        shards=shards,
     )
     _run_phased(network, k, obs)
     stats = network.stats
     edges: Set[Edge] = set()
-    for program in programs.values():
-        edges |= program.edges
+    for shard_edges in network.apply_programs(_program_edges):
+        edges |= shard_edges
     return Spanner(
         graph,
         edges,

@@ -87,6 +87,7 @@ def distributed_fibonacci_spanner(
     reliable: bool = False,
     reliable_config: Optional[ReliableConfig] = None,
     obs: Optional[Obs] = None,
+    shards: Optional[int] = None,
 ) -> Spanner:
     """Build a Fibonacci spanner by message passing (Theorem 8).
 
@@ -110,6 +111,7 @@ def distributed_fibonacci_spanner(
         "reliable": reliable,
         "reliable_config": reliable_config,
         "obs": obs,
+        "shards": shards,
     }
     params = FibonacciParams.resolve(n, order=order, eps=eps, ell=ell)
     cap = max_message_words

@@ -63,6 +63,22 @@ class _BfsProgram(NodeProgram):
                 api.send(u, best_root)
 
 
+def _bfs_outcomes(
+    programs: Dict[int, _BfsProgram],
+) -> Tuple[Dict[int, int], Dict[int, int], Dict[int, Optional[int]]]:
+    """Engine-agnostic result gather (picklable for sharded workers)."""
+    dist: Dict[int, int] = {}
+    root: Dict[int, int] = {}
+    parent: Dict[int, Optional[int]] = {}
+    for v, p in programs.items():
+        if p.dist is None or p.root is None:
+            continue  # never heard a source within the budget
+        dist[v] = p.dist
+        root[v] = p.root
+        parent[v] = p.parent
+    return dist, root, parent
+
+
 def bounded_bfs_protocol(
     graph: Graph,
     sources: Iterable[int],
@@ -73,13 +89,14 @@ def bounded_bfs_protocol(
     reliable_config: Optional[ReliableConfig] = None,
     obs: Optional[Obs] = None,
     phase: str = "bfs",
+    shards: Optional[int] = None,
 ) -> Tuple[Dict[int, int], Dict[int, int], Dict[int, Optional[int]], NetworkStats]:
     """Distributed multi-source BFS truncated at ``radius`` hops.
 
     Returns ``(dist, root, parent, stats)`` over the vertices that heard a
     source within the budget.  Unit-length messages (1 word each).
     ``obs``/``phase`` attach observability (the run is traced under the
-    given phase label).
+    given phase label); ``shards`` selects the sharded engine.
     """
     source_set = set(sources)
     programs = {
@@ -94,17 +111,18 @@ def bounded_bfs_protocol(
             reliable=reliable,
             reliable_config=reliable_config,
             obs=obs,
+            shards=shards,
         )
         stats = network.run(max_rounds=radius)
     dist: Dict[int, int] = {}
     root: Dict[int, int] = {}
     parent: Dict[int, Optional[int]] = {}
-    for v, p in programs.items():
-        if p.dist is None or p.root is None:
-            continue  # never heard a source within the budget
-        dist[v] = p.dist
-        root[v] = p.root
-        parent[v] = p.parent
+    for shard_dist, shard_root, shard_parent in network.apply_programs(
+        _bfs_outcomes
+    ):
+        dist.update(shard_dist)
+        root.update(shard_root)
+        parent.update(shard_parent)
     return dist, root, parent, stats
 
 
@@ -165,6 +183,21 @@ class _BallProgram(NodeProgram):
             self._shared[u].update(to_send)
 
 
+def _ball_outcomes(
+    programs: Dict[int, _BallProgram],
+) -> Tuple[
+    Dict[int, Dict[int, Tuple[int, Optional[int]]]], Dict[int, int]
+]:
+    """Engine-agnostic result gather (picklable for sharded workers)."""
+    known = {v: dict(p.known) for v, p in programs.items()}
+    ceased = {
+        v: p.ceased_at
+        for v, p in programs.items()
+        if p.ceased_at is not None
+    }
+    return known, ceased
+
+
 def ball_broadcast_protocol(
     graph: Graph,
     sources: Iterable[int],
@@ -175,6 +208,7 @@ def ball_broadcast_protocol(
     reliable_config: Optional[ReliableConfig] = None,
     obs: Optional[Obs] = None,
     phase: str = "ball",
+    shards: Optional[int] = None,
 ) -> Tuple[
     Dict[int, Dict[int, Tuple[int, Optional[int]]]],
     Dict[int, int],
@@ -200,12 +234,14 @@ def ball_broadcast_protocol(
             reliable=reliable,
             reliable_config=reliable_config,
             obs=obs,
+            shards=shards,
         )
         stats = network.run(max_rounds=radius)
-    known = {v: dict(p.known) for v, p in programs.items()}
-    ceased = {
-        v: p.ceased_at for v, p in programs.items() if p.ceased_at is not None
-    }
+    known: Dict[int, Dict[int, Tuple[int, Optional[int]]]] = {}
+    ceased: Dict[int, int] = {}
+    for shard_known, shard_ceased in network.apply_programs(_ball_outcomes):
+        known.update(shard_known)
+        ceased.update(shard_ceased)
     return known, ceased, stats
 
 
@@ -268,6 +304,13 @@ class _PipelinedBroadcastProgram(NodeProgram):
         self._flush(api)
 
 
+def _pipelined_outcomes(
+    programs: Dict[int, _PipelinedBroadcastProgram],
+) -> Dict[int, Dict[int, Tuple[int, Optional[int]]]]:
+    """Engine-agnostic result gather (picklable for sharded workers)."""
+    return {v: dict(p.known) for v, p in programs.items()}
+
+
 def pipelined_broadcast_protocol(
     graph: Graph,
     sources: Iterable[int],
@@ -278,6 +321,7 @@ def pipelined_broadcast_protocol(
     reliable_config: Optional[ReliableConfig] = None,
     obs: Optional[Obs] = None,
     phase: str = "pipelined",
+    shards: Optional[int] = None,
 ) -> Tuple[
     Dict[int, Dict[int, Tuple[int, Optional[int]]]],
     NetworkStats,
@@ -304,9 +348,12 @@ def pipelined_broadcast_protocol(
             reliable=reliable,
             reliable_config=reliable_config,
             obs=obs,
+            shards=shards,
         )
         stats = network.run(max_rounds=max_rounds, stop_when_idle=True)
-    known = {v: dict(p.known) for v, p in programs.items()}
+    known: Dict[int, Dict[int, Tuple[int, Optional[int]]]] = {}
+    for shard_known in network.apply_programs(_pipelined_outcomes):
+        known.update(shard_known)
     return known, stats
 
 
@@ -349,6 +396,14 @@ class _RetraceProgram(NodeProgram):
         self._relay(api, incoming)
 
 
+def _retrace_outcomes(programs: Dict[int, _RetraceProgram]) -> Set[Edge]:
+    """Engine-agnostic result gather (picklable for sharded workers)."""
+    edges: Set[Edge] = set()
+    for p in programs.values():
+        edges |= p.edges_added
+    return edges
+
+
 def path_retrace_protocol(
     graph: Graph,
     parent_maps: Dict[int, Dict[int, Optional[int]]],
@@ -360,6 +415,7 @@ def path_retrace_protocol(
     reliable_config: Optional[ReliableConfig] = None,
     obs: Optional[Obs] = None,
     phase: str = "retrace",
+    shards: Optional[int] = None,
 ) -> Tuple[Set[Edge], NetworkStats]:
     """Add shortest paths P(x, u) for every request ``u in requests[x]``.
 
@@ -382,9 +438,10 @@ def path_retrace_protocol(
             reliable=reliable,
             reliable_config=reliable_config,
             obs=obs,
+            shards=shards,
         )
         stats = network.run(max_rounds=radius)
     edges: Set[Edge] = set()
-    for p in programs.values():
-        edges |= p.edges_added
+    for shard_edges in network.apply_programs(_retrace_outcomes):
+        edges |= shard_edges
     return edges, stats

@@ -39,7 +39,19 @@ chaos tests rely on that loud failure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # deferred at runtime: sharded pulls in multiprocessing
+    from repro.distributed.sharded import ShardedNetwork
 
 from repro.distributed.faults import LINK_DEAD, FaultEvent, FaultPlan
 from repro.distributed.simulator import (
@@ -437,6 +449,18 @@ class ReliableNetwork:
         self._virtual_target = 0
 
     # ------------------------------------------------------------------
+    def apply_programs(
+        self, fn: Any, *args: Any, **kwargs: Any
+    ) -> List[Any]:
+        """Run ``fn(programs, *args, **kwargs)`` over the *inner* programs.
+
+        The engine-agnostic program hook (see
+        :meth:`Network.apply_programs`) — runners drive phases through
+        this on every engine; here it sees the unwrapped inner programs,
+        matching what ``self.programs`` exposes.
+        """
+        return [fn(self.programs, *args, **kwargs)]
+
     def _live(self, v: int) -> bool:
         if self.fault_plan is None:
             return True
@@ -566,7 +590,8 @@ def build_network(
     reliable: bool = False,
     reliable_config: Optional[ReliableConfig] = None,
     obs: Optional[Any] = None,
-) -> Union[Network, "ReliableNetwork"]:
+    shards: Optional[int] = None,
+) -> Union[Network, "ReliableNetwork", "ShardedNetwork"]:
     """One-stop network construction for protocol entry points.
 
     ``reliable=True`` wraps every program in :class:`ReliableProgram`
@@ -574,7 +599,29 @@ def build_network(
     rounds); otherwise a plain :class:`Network` is returned, optionally
     with a :class:`FaultPlan` attached — running a protocol *raw* under
     faults is how the chaos harness demonstrates why the adapter exists.
+
+    ``shards`` (>= 1) returns a
+    :class:`~repro.distributed.sharded.ShardedNetwork` running the
+    programs across that many persistent worker processes.  The sharded
+    engine covers the clean configuration only: combining it with
+    ``fault_plan``, ``reliable`` or ``strict`` raises ``ValueError``.
     """
+    if shards is not None:
+        if fault_plan is not None:
+            raise ValueError("shards cannot be combined with a fault_plan")
+        if reliable:
+            raise ValueError("shards cannot be combined with reliable")
+        if strict:
+            raise ValueError("shards cannot be combined with strict")
+        from repro.distributed.sharded import ShardedNetwork
+
+        return ShardedNetwork(
+            graph,
+            programs,
+            shards,
+            max_message_words=max_message_words,
+            obs=obs,
+        )
     if reliable:
         return ReliableNetwork(
             graph,

@@ -103,11 +103,23 @@ class NetworkStats:
         """Total messages perturbed by the fault plan."""
         return self.dropped + self.duplicated + self.delayed + self.reordered
 
-    def merged_with(self, other: "NetworkStats") -> "NetworkStats":
-        """Combine stats from sequential protocol phases."""
+    def merged_with(
+        self, other: "NetworkStats", limit: int = 512
+    ) -> "NetworkStats":
+        """Combine stats from sequential protocol phases.
+
+        ``limit`` bounds the merged in-memory fault-event log the same
+        way :meth:`record_fault`'s limit bounds a single run's log —
+        callers that configured a non-default ``FaultPlan.
+        max_logged_events`` thread it here so a multi-phase merge honors
+        the same cap.  ``fault_events_dropped`` stays exact either way:
+        every event not retained is counted.
+        """
+        if limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
         caps = [c for c in (self.cap, other.cap) if c is not None]
         merged_events = self.fault_events + other.fault_events
-        overflow = max(0, len(merged_events) - 512)
+        overflow = max(0, len(merged_events) - limit)
         return NetworkStats(
             rounds=self.rounds + other.rounds,
             messages=self.messages + other.messages,
@@ -123,7 +135,7 @@ class NetworkStats:
             reordered=self.reordered + other.reordered,
             retransmissions=self.retransmissions + other.retransmissions,
             dead_links=self.dead_links + other.dead_links,
-            fault_events=merged_events[:512],
+            fault_events=merged_events[:limit],
             fault_events_dropped=(
                 self.fault_events_dropped
                 + other.fault_events_dropped
@@ -317,6 +329,22 @@ class Network:
 
     def sorted_neighbors(self, v: int) -> List[int]:
         return self._sorted_nbrs[v]
+
+    def apply_programs(
+        self, fn: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> List[Any]:
+        """Run ``fn(programs, *args, **kwargs)`` over the node programs.
+
+        The engine-agnostic program-access hook: protocol runners that
+        poke per-node state between ``run`` calls (phase configuration,
+        liveness counts, final edge collection) go through this instead
+        of touching a programs dict directly, so the same driver code
+        works when the programs live in another process.  Returns one
+        result per partition — a single-element list here, one element
+        per shard on :class:`repro.distributed.sharded.ShardedNetwork`
+        (where ``fn`` and its arguments must be picklable).
+        """
+        return [fn(self.programs, *args, **kwargs)]
 
     def _active_pairs(self) -> List[Tuple[Api, NodeProgram]]:
         """(api, program) pairs of unhalted nodes, in vertex order.

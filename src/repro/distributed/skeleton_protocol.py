@@ -350,6 +350,66 @@ def _radius_after_round(radius: int, calls: int) -> int:
     return calls * (2 * radius + 1) + radius
 
 
+class _ClusterSampler:
+    """The shared-randomness sampling decision for one Expand call.
+
+    A picklable stand-in for the former per-call closure (the sharded
+    engine ships ``begin_phase`` configuration to worker processes):
+    every processor evaluates the common PRF on (call index, cluster
+    center), so sampling stays communication-free and identical across
+    engines and across the sequential implementation.
+    """
+
+    __slots__ = ("idx", "p", "prf")
+
+    def __init__(self, idx: int, p: float, prf: Any) -> None:
+        self.idx = idx
+        self.p = p
+        self.prf = prf
+
+    def __call__(self, center: int) -> bool:
+        return self.p > 0 and self.prf(self.idx, center) < self.p
+
+
+# Engine-agnostic program hooks: the driver reaches node programs only
+# through ``network.apply_programs`` with these module-level (hence
+# picklable) functions, so the same driver runs whether the programs
+# live in this process or in the sharded engine's workers.
+def _begin_phase(
+    programs: Dict[int, NodeProgram], name: str, **config: Any
+) -> None:
+    for program in programs.values():
+        program.begin_phase(name, **config)  # type: ignore[attr-defined]
+
+
+def _alive_count(programs: Dict[int, "_SkeletonProgram"]) -> int:
+    return sum(1 for pr in programs.values() if pr.alive)
+
+
+def _call_aborts(programs: Dict[int, "_SkeletonProgram"]) -> int:
+    return sum(
+        1
+        for pr in programs.values()
+        if pr.dying and pr.abort and pr.p1 is None
+    )
+
+
+def _finalize_call(programs: Dict[int, "_SkeletonProgram"]) -> None:
+    for program in programs.values():
+        program.finalize_call()
+
+
+def _alive_centers(programs: Dict[int, "_SkeletonProgram"]) -> Set[int]:
+    return {pr.cl_center for pr in programs.values() if pr.alive}
+
+
+def _spanner_edges(programs: Dict[int, "_SkeletonProgram"]) -> Set[Edge]:
+    edges: Set[Edge] = set()
+    for program in programs.values():
+        edges |= program.edges
+    return edges
+
+
 def distributed_skeleton(
     graph: Graph,
     D: int = 4,
@@ -362,6 +422,7 @@ def distributed_skeleton(
     reliable: bool = False,
     reliable_config: Optional[ReliableConfig] = None,
     obs: Optional[Obs] = None,
+    shards: Optional[int] = None,
 ) -> Spanner:
     """Run the Theorem 2 protocol on ``graph``.
 
@@ -380,6 +441,8 @@ def distributed_skeleton(
     execution exactly under drop/duplicate/delay/reorder plans.
     ``obs`` attaches observability: each exchange/converge/decide/
     contract phase is marked in the trace and metered per phase.
+    ``shards`` runs the programs on the sharded multi-process engine
+    (clean configuration only — see ``build_network``).
     """
     n = graph.n
     prf = make_prf(seed)
@@ -407,13 +470,13 @@ def distributed_skeleton(
         reliable=reliable,
         reliable_config=reliable_config,
         obs=obs,
+        shards=shards,
     )
     log_n = math.log(max(2, n))
 
     def run_phase(name: str, budget: int, **config: Any) -> int:
         with phase_scope(obs, name):
-            for program in programs.values():
-                program.begin_phase(name, **config)
+            network.apply_programs(_begin_phase, name, **config)
             before = network.stats.rounds
             network.run(max_rounds=budget, stop_when_idle=True)
             # Drain any messages still in flight (the synchronous
@@ -445,14 +508,12 @@ def distributed_skeleton(
         )
         calls_done = 0
         for p in probabilities:
-            if not any(pr.alive for pr in programs.values()):
+            if not sum(network.apply_programs(_alive_count)):
                 break
             idx = call_index
             call_index += 1
             calls_done += 1
-
-            def sampler(center: int, _idx=idx, _p=p) -> bool:
-                return _p > 0 and prf(_idx, center) < _p
+            sampler = _ClusterSampler(idx, p, prf)
 
             run_phase("exchange", 2)
             run_phase(
@@ -463,22 +524,11 @@ def distributed_skeleton(
                 cap_entries=cap_entries,
             )
             run_phase("decide", radius_bound + pipeline + 2)
-            aborts += sum(
-                1
-                for pr in programs.values()
-                if pr.dying and pr.abort and pr.p1 is None
-            )
-            for program in programs.values():
-                program.finalize_call()
+            aborts += sum(network.apply_programs(_call_aborts))
+            network.apply_programs(_finalize_call)
             budgeted_rounds += 2 * (radius_bound + pipeline + 2) + 2
             cluster_counts.append(
-                len(
-                    {
-                        pr.cl_center
-                        for pr in programs.values()
-                        if pr.alive
-                    }
-                )
+                len(set().union(*network.apply_programs(_alive_centers)))
             )
         # Contract: p1 <- p2, relearn children (one announcement round).
         run_phase("contract", 2)
@@ -486,8 +536,8 @@ def distributed_skeleton(
         radius_bound = _radius_after_round(radius_bound, calls_done)
 
     edges: Set[Edge] = set()
-    for program in programs.values():
-        edges |= program.edges
+    for shard_edges in network.apply_programs(_spanner_edges):
+        edges |= shard_edges
     metadata = {
         "algorithm": "pettie-skeleton-distributed",
         "D": D,

@@ -55,6 +55,13 @@ class _SurveyProgram(NodeProgram):
             api.broadcast(tuple(sorted(fresh)))  # repro-lint: disable=REP012
 
 
+def _known_maps(
+    programs: Dict[int, _SurveyProgram],
+) -> Dict[int, Set[Edge]]:
+    """Engine-agnostic result gather (picklable for sharded workers)."""
+    return {v: p.known_edges for v, p in programs.items()}
+
+
 def neighborhood_survey(
     graph: Graph,
     radius: int,
@@ -62,6 +69,7 @@ def neighborhood_survey(
     reliable: bool = False,
     reliable_config: Optional[ReliableConfig] = None,
     obs: Optional[Obs] = None,
+    shards: Optional[int] = None,
 ) -> Tuple[Dict[int, Set[Edge]], NetworkStats]:
     """Every vertex collects all edges within ``radius`` hops.
 
@@ -83,6 +91,10 @@ def neighborhood_survey(
             reliable=reliable,
             reliable_config=reliable_config,
             obs=obs,
+            shards=shards,
         )
         stats = network.run(max_rounds=radius, stop_when_idle=True)
-    return {v: p.known_edges for v, p in programs.items()}, stats
+    known: Dict[int, Set[Edge]] = {}
+    for shard_known in network.apply_programs(_known_maps):
+        known.update(shard_known)
+    return known, stats

@@ -8,11 +8,14 @@ generator (:mod:`repro.serving`) — draws from this one table, so
 everywhere.  Adding a graph family is one entry here, not one edit
 per consumer (ROADMAP: "graph zoo" refactor, first step).
 
-Two scales, mirroring the bench matrix:
+Three scales, mirroring the bench matrix:
 
 * ``smoke`` — small hosts for CI gates (seconds in total);
 * ``e1`` — the EXPERIMENTS.md E1 operating point (Erdős–Rényi
-  ``G(600, 0.02)``) plus comparable grid/hypercube hosts.
+  ``G(600, 0.02)``) plus comparable grid/hypercube hosts;
+* ``e2`` — the 10^5-node class the sharded round engine targets
+  (EXPERIMENTS.md E24): ``G(100000, 5e-5)``, a 320x320 grid and the
+  dimension-14 hypercube.
 """
 
 from __future__ import annotations
@@ -28,19 +31,24 @@ __all__ = ["GRAPH_KINDS", "HOST_SCALES", "build_host", "host_params"]
 GRAPH_KINDS: Tuple[str, ...] = ("er", "grid", "hypercube")
 
 #: registered scales, small to large.
-HOST_SCALES: Tuple[str, ...] = ("smoke", "e1")
+HOST_SCALES: Tuple[str, ...] = ("smoke", "e1", "e2")
 
 #: host-family parameters per scale.  ``e1`` er matches EXPERIMENTS.md
 #: E1 (n=600, p=0.02); grid/hypercube are sized to comparable n.
+#: ``e2`` is the sharded engine's 10^5-node class: G(100000, 5e-5)
+#: keeps expected degree ~5 (~250k edges), the grid and hypercube are
+#: sized to ~n = 10^5.
 _ER_PARAMS: Dict[str, Tuple[int, float]] = {
     "smoke": (120, 0.06),
     "e1": (600, 0.02),
+    "e2": (100_000, 5e-5),
 }
 _GRID_PARAMS: Dict[str, Tuple[int, int]] = {
     "smoke": (10, 12),
     "e1": (24, 25),
+    "e2": (320, 320),
 }
-_HYPERCUBE_DIM: Dict[str, int] = {"smoke": 7, "e1": 9}
+_HYPERCUBE_DIM: Dict[str, int] = {"smoke": 7, "e1": 9, "e2": 14}
 
 
 def host_params(graph_kind: str, scale: str) -> Dict[str, int]:
@@ -54,7 +62,12 @@ def host_params(graph_kind: str, scale: str) -> Dict[str, int]:
     if graph_kind == "er":
         n, p = _ER_PARAMS[scale]
         # p is scaled to an int per-mille so the row stays integral
-        # (and therefore trivially JSON/checksum stable).
+        # (and therefore trivially JSON/checksum stable).  The e2 class
+        # needs sub-permille resolution (5e-5 rounds to 0), so it keys
+        # per-million instead; smoke/e1 rows keep the original key —
+        # serving artifact checksums depend on them byte-for-byte.
+        if scale == "e2":
+            return {"n": n, "p_permillion": int(round(p * 1_000_000))}
         return {"n": n, "p_permille": int(round(p * 1000))}
     if graph_kind == "grid":
         rows, cols = _GRID_PARAMS[scale]

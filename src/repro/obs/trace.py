@@ -221,6 +221,25 @@ class Obs:
                 pl=payload_fingerprint(payloads),
             )
 
+    def on_send_fingerprint(
+        self, round_no: int, src: int, dst: int, words: int, fingerprint: int
+    ) -> None:
+        """:meth:`on_send` with the payload already fingerprinted.
+
+        The sharded engine's workers reduce payloads to their CRC-32
+        fingerprint before events cross the process boundary (payload
+        objects never travel back), so the coordinator replays sends
+        through this hook; the emitted event is byte-identical to the
+        one :meth:`on_send` would have produced for the same payloads.
+        """
+        self.messages += 1
+        self.words += words
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            rec.emit(
+                "send", r=round_no, src=src, dst=dst, w=words, pl=fingerprint
+            )
+
     def on_fault(self, event: Any) -> None:
         rec = self.recorder
         if rec is not None and rec.enabled:

@@ -20,9 +20,20 @@ from time import perf_counter
 from typing import Any, Dict, Optional, Tuple
 
 from repro.obs.runners import run_traced
-from repro.perf.workloads import ChurnCell, ServiceCell, WorkloadCell
+from repro.perf.workloads import (
+    ChurnCell,
+    ServiceCell,
+    ShardedCell,
+    WorkloadCell,
+)
 
-__all__ = ["CellResult", "run_cell", "run_churn_cell", "run_service_cell"]
+__all__ = [
+    "CellResult",
+    "run_cell",
+    "run_churn_cell",
+    "run_service_cell",
+    "run_sharded_cell",
+]
 
 #: one measured cell, as serialized into ``BENCH_*.json``.
 CellResult = Dict[str, Any]
@@ -75,6 +86,65 @@ def run_cell(cell: WorkloadCell, reps: int = 2) -> CellResult:
         "graph_kind": cell.graph_kind,
         "scale": cell.scale,
         "seed": cell.seed,
+        "n": graph.n,
+        "m": graph.m,
+        "rounds": rounds,
+        "messages": messages,
+        "words": words,
+        "wall_s": round(best_wall, 6),
+        "rounds_per_s": round(rounds / best_wall, 1) if best_wall > 0 else 0.0,
+        "messages_per_s": (
+            round(messages / best_wall, 1) if best_wall > 0 else 0.0
+        ),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def run_sharded_cell(cell: ShardedCell, reps: int = 2) -> CellResult:
+    """Benchmark one sharded-engine cell: best-of-``reps`` plus counts.
+
+    Mirrors :func:`run_cell` with the run dispatched to the sharded
+    engine at the cell's shard count.  The worker pool is persistent,
+    so the first rep absorbs the spawn cost and the best-of-reps wall
+    measures steady-state round throughput; counts are engine-invariant
+    (pinned by ``tests/test_sharded_equivalence.py``), so drift against
+    a single-process baseline row is a correctness failure here too.
+
+    Must run in a process that may spawn children — the one-cell-per-
+    process bench pool's workers are daemonic, so the CLI forces
+    ``jobs=1`` for sharded matrices.
+    """
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    graph = cell.build_graph()
+    best_wall = float("inf")
+    counts: Optional[Tuple[int, int, int]] = None
+    for _ in range(reps):
+        start = perf_counter()
+        _, stats = run_traced(
+            cell.protocol, graph, seed=cell.seed, obs=None,
+            shards=cell.shards,
+        )
+        wall = perf_counter() - start
+        rep_counts = (stats.rounds, stats.messages, stats.total_words)
+        if counts is None:
+            counts = rep_counts
+        elif counts != rep_counts:
+            raise AssertionError(
+                f"nondeterministic cell {cell.cell_id}: "
+                f"{counts} != {rep_counts}"
+            )
+        if wall < best_wall:
+            best_wall = wall
+    assert counts is not None
+    rounds, messages, words = counts
+    return {
+        "cell_id": cell.cell_id,
+        "protocol": cell.protocol,
+        "graph_kind": cell.graph_kind,
+        "scale": cell.scale,
+        "seed": cell.seed,
+        "shards": cell.shards,
         "n": graph.n,
         "m": graph.m,
         "rounds": rounds,

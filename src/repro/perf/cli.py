@@ -27,9 +27,11 @@ from repro.perf.bench import CellResult
 from repro.perf.compare import compare_reports
 from repro.perf.runner import default_jobs, run_matrix
 from repro.perf.workloads import (
+    SHARD_COUNTS,
     churn_matrix,
     full_matrix,
     service_matrix,
+    sharded_matrix,
     smoke_matrix,
 )
 
@@ -63,6 +65,23 @@ def _parser() -> argparse.ArgumentParser:
         help="run the serving-tier workload matrix (query latency over "
              "an in-process server; separate BENCH_service.json "
              "trajectory)",
+    )
+    parser.add_argument(
+        "--sharded",
+        action="store_true",
+        help="run the sharded-engine scaling matrix (ShardedNetwork at "
+             "each shard count; cells join BENCH_simulator.json). "
+             "Forces --jobs 1: shard workers are child processes the "
+             "daemonic bench pool cannot spawn",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="shard counts for --sharded "
+             f"(default: {' '.join(map(str, SHARD_COUNTS))})",
     )
     parser.add_argument(
         "--out",
@@ -153,13 +172,32 @@ def _render_cells(results: List[CellResult]) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _parser()
     args = parser.parse_args(argv)
-    if args.churn and args.service:
-        parser.error("--churn and --service are mutually exclusive")
+    if sum((args.churn, args.service, args.sharded)) > 1:
+        parser.error(
+            "--churn, --service and --sharded are mutually exclusive"
+        )
+    if args.shards is not None and not args.sharded:
+        parser.error("--shards requires --sharded")
     cells: List[Any]
     if args.churn:
         cells = churn_matrix(("smoke",) if args.smoke else ("smoke", "e1"))
     elif args.service:
         cells = service_matrix(("smoke",) if args.smoke else ("smoke", "e1"))
+    elif args.sharded:
+        shard_counts = tuple(args.shards) if args.shards else SHARD_COUNTS
+        if any(count < 1 for count in shard_counts):
+            parser.error("--shards values must be >= 1")
+        cells = sharded_matrix(
+            ("smoke",) if args.smoke else ("smoke", "e2"),
+            shards=shard_counts,
+        )
+        if args.jobs is not None and args.jobs != 1:
+            print(
+                "--sharded forces --jobs 1 (shard workers are child "
+                "processes the daemonic bench pool cannot spawn)",
+                file=sys.stderr,
+            )
+        args.jobs = 1
     else:
         cells = smoke_matrix() if args.smoke else full_matrix()
     if args.list_cells:
@@ -179,10 +217,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.service:
         kind = "BENCH_service"
     else:
+        # Sharded cells share the simulator trajectory: counts are
+        # engine-invariant, so they gate against the same baseline file.
         kind = "BENCH_simulator"
+    matrix = "smoke" if args.smoke else "full"
+    if args.sharded:
+        matrix = f"sharded-{matrix}"
     report = build_report(
         results,
-        matrix="smoke" if args.smoke else "full",
+        matrix=matrix,
         reps=args.reps,
         kind=kind,
     )

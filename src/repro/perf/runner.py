@@ -25,17 +25,32 @@ from repro.perf.bench import (
     run_cell,
     run_churn_cell,
     run_service_cell,
+    run_sharded_cell,
 )
-from repro.perf.workloads import ChurnCell, ServiceCell, WorkloadCell
+from repro.perf.workloads import (
+    ChurnCell,
+    ServiceCell,
+    ShardedCell,
+    WorkloadCell,
+)
 
 __all__ = ["default_jobs", "run_matrix"]
 
-_AnyCell = Union[WorkloadCell, ChurnCell, ServiceCell]
+_AnyCell = Union[WorkloadCell, ChurnCell, ServiceCell, ShardedCell]
 
 
 def default_jobs() -> int:
-    """Worker count default: the machine's CPU count (min 1)."""
-    return max(1, os.cpu_count() or 1)
+    """Worker count default: the CPUs actually *available* (min 1).
+
+    ``os.cpu_count()`` reports installed CPUs, which oversubscribes the
+    pool under cgroup/taskset limits (CI runners, containers) and skews
+    wall-clock numbers; the scheduling affinity mask is the real budget
+    where the platform exposes it.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # non-Linux platforms
+        return max(1, os.cpu_count() or 1)
 
 
 def _bench_worker(task: Tuple[_AnyCell, int]) -> CellResult:
@@ -45,6 +60,11 @@ def _bench_worker(task: Tuple[_AnyCell, int]) -> CellResult:
         return run_churn_cell(cell, reps=reps)
     if isinstance(cell, ServiceCell):
         return run_service_cell(cell, reps=reps)
+    if isinstance(cell, ShardedCell):
+        # Only reachable at jobs=1 (pool workers are daemonic and the
+        # sharded engine must spawn its own children; the CLI forces
+        # --sharded runs in-process).
+        return run_sharded_cell(cell, reps=reps)
     return run_cell(cell, reps=reps)
 
 

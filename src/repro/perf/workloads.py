@@ -32,11 +32,14 @@ __all__ = [
     "SCALES",
     "SEEDS",
     "SERVICE_MIXES",
+    "SHARD_COUNTS",
     "ServiceCell",
+    "ShardedCell",
     "WorkloadCell",
     "churn_matrix",
     "full_matrix",
     "service_matrix",
+    "sharded_matrix",
     "smoke_matrix",
 ]
 
@@ -51,8 +54,12 @@ SEEDS: Tuple[int, ...] = (1, 2, 3)
 
 #: host parameters live in the shared graph zoo (repro.graphs.zoo);
 #: the bench matrix, churn cells and the serving tier all build the
-#: identical hosts through repro.graphs.build_host.
-SCALES: Tuple[str, ...] = HOST_SCALES
+#: identical hosts through repro.graphs.build_host.  The single-process
+#: matrices stop at ``e1`` — the zoo's ``e2`` (10^5-node) scale exists
+#: for the sharded matrix only.
+SCALES: Tuple[str, ...] = ("smoke", "e1")
+
+assert set(SCALES) <= set(HOST_SCALES)
 
 _GRAPH_KINDS: Tuple[str, ...] = GRAPH_KINDS
 
@@ -78,6 +85,73 @@ class WorkloadCell:
     def build_graph(self) -> Graph:
         """Construct this cell's host graph (deterministic per cell)."""
         return build_host(self.graph_kind, self.scale, self.graph_seed)
+
+
+#: shard counts of the sharded-engine scaling curve (EXPERIMENTS.md
+#: E24); 1 is included so every curve carries its own single-worker
+#: reference point on the identical workload.
+SHARD_COUNTS: Tuple[int, ...] = (1, 2, 4)
+
+
+@dataclass(frozen=True)
+class ShardedCell:
+    """One sharded-engine point: a workload cell plus a shard count.
+
+    Counts (rounds/messages/words) are engine-invariant — the sharded
+    engine is pinned byte-identical to the single-process engine by
+    ``tests/test_sharded_equivalence.py`` — so the count-drift gate can
+    compare a sharded cell against *any* baseline row for the same
+    workload, and the wall-clock column is the only thing the shard
+    count may move.
+    """
+
+    protocol: str
+    graph_kind: str
+    scale: str
+    seed: int
+    shards: int
+
+    @property
+    def cell_id(self) -> str:
+        return (
+            f"{self.protocol}/{self.graph_kind}/{self.scale}/"
+            f"s{self.seed}/shards{self.shards}"
+        )
+
+    @property
+    def graph_seed(self) -> int:
+        return 1000 + self.seed
+
+    def build_graph(self) -> Graph:
+        return build_host(self.graph_kind, self.scale, self.graph_seed)
+
+
+def sharded_matrix(
+    scales: Tuple[str, ...] = ("smoke", "e2"),
+    shards: Tuple[int, ...] = SHARD_COUNTS,
+) -> List[ShardedCell]:
+    """The sharded scaling matrix (smoke subset = ``("smoke",)``).
+
+    Small scales sweep every bench protocol and host family; the ``e2``
+    (10^5-node) scale runs Baswana–Sen on the er host only — 2k rounds
+    of unit messages is the workload whose per-round node iteration the
+    sharding targets, while the skeleton's Expand machinery at that n
+    is sequential-schedule-dominated and would swamp the curve.
+    """
+    cells: List[ShardedCell] = []
+    for scale in scales:
+        if scale == "e2":
+            combos = [("baswana_sen", "er")]
+        else:
+            combos = [
+                (protocol, kind)
+                for protocol in BENCH_PROTOCOLS
+                for kind in _GRAPH_KINDS
+            ]
+        for protocol, kind in combos:
+            for count in shards:
+                cells.append(ShardedCell(protocol, kind, scale, 1, count))
+    return cells
 
 
 #: (batches, batch_size) of the churn update stream per scale.

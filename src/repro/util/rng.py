@@ -29,29 +29,30 @@ def ensure_rng(seed: SeedLike = None) -> random.Random:
     return random.Random(seed)
 
 
-def make_prf(seed: SeedLike = None) -> Prf:
-    """Build a deterministic pseudo-random function ``prf(*keys) -> [0, 1)``.
+class SaltedPrf:
+    """A deterministic pseudo-random function ``prf(*keys) -> [0, 1)``.
 
-    Distributed algorithms here use *shared randomness*: every processor
-    derives the same sampling decision for (round, cluster-center) pairs
-    from a common seed, so no communication is spent distributing coin
-    flips.  The same PRF drives the sequential implementations, which is
-    what makes sequential/distributed cross-validation exact.
+    Pure function of ``(salt, keys)``; instances are picklable (the
+    memo cache is dropped on pickle, which cannot change any sampling
+    decision), so node programs holding a PRF can be shipped to the
+    sharded engine's worker processes and evolve the *identical*
+    clustering there.
     """
-    import hashlib
 
-    seed_rng = ensure_rng(seed)
-    salt = seed_rng.getrandbits(64).to_bytes(8, "little")
+    __slots__ = ("_salt", "_cache")
 
-    sha256 = hashlib.sha256
-    # Shared-randomness protocols re-evaluate the same (round, center)
-    # coins at every node, so key tuples repeat heavily; prf is a pure
-    # function of (salt, keys), so memoizing it cannot change any
-    # sampling decision.  Bounded like WordCounter: cleared wholesale at
-    # the cap rather than evicted.
-    cache: Dict[Tuple[Any, ...], float] = {}
+    def __init__(self, salt: bytes) -> None:
+        self._salt = salt
+        # Shared-randomness protocols re-evaluate the same (round,
+        # center) coins at every node, so key tuples repeat heavily;
+        # memoizing cannot change any sampling decision.  Bounded like
+        # WordCounter: cleared wholesale at the cap, never evicted.
+        self._cache: Dict[Tuple[Any, ...], float] = {}
 
-    def prf(*keys: Any) -> float:
+    def __call__(self, *keys: Any) -> float:
+        import hashlib
+
+        cache = self._cache
         try:
             hit = cache.get(keys)
         except TypeError:  # unhashable key — compute directly
@@ -62,7 +63,9 @@ def make_prf(seed: SeedLike = None) -> Prf:
         # map(repr, ...) keeps the digest input — hence every sampling
         # decision ever recorded in a trace — bit-identical to the
         # original generator-expression form, at lower call overhead.
-        digest = sha256(salt + ":".join(map(repr, keys)).encode()).digest()
+        digest = hashlib.sha256(
+            self._salt + ":".join(map(repr, keys)).encode()
+        ).digest()
         value = int.from_bytes(digest[:8], "little") / 2**64
         try:
             if len(cache) >= 1 << 16:
@@ -72,7 +75,31 @@ def make_prf(seed: SeedLike = None) -> Prf:
             pass
         return value
 
-    return prf
+    def __getstate__(self) -> bytes:
+        return self._salt
+
+    def __setstate__(self, salt: bytes) -> None:
+        self._salt = salt
+        self._cache = {}
+
+
+def make_prf(seed: SeedLike = None) -> Prf:
+    """Build a deterministic pseudo-random function ``prf(*keys) -> [0, 1)``.
+
+    Distributed algorithms here use *shared randomness*: every processor
+    derives the same sampling decision for (round, cluster-center) pairs
+    from a common seed, so no communication is spent distributing coin
+    flips.  The same PRF drives the sequential implementations, which is
+    what makes sequential/distributed cross-validation exact.
+
+    The returned callable is a picklable :class:`SaltedPrf`: the salt —
+    and therefore every sampling decision — is derived from ``seed``
+    exactly as before, but the function can now cross a process
+    boundary intact (the sharded engine ships programs to workers).
+    """
+    seed_rng = ensure_rng(seed)
+    salt = seed_rng.getrandbits(64).to_bytes(8, "little")
+    return SaltedPrf(salt)
 
 
 def spawn_rng(rng: random.Random, stream: int = 0) -> random.Random:

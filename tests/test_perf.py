@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -14,7 +15,10 @@ from repro.perf import (
     run_matrix,
     smoke_matrix,
 )
+from repro.perf.bench import run_sharded_cell
 from repro.perf.cli import build_report, main as bench_main
+from repro.perf.runner import default_jobs
+from repro.perf.workloads import ShardedCell, sharded_matrix
 
 
 class TestWorkloadMatrix:
@@ -81,6 +85,52 @@ class TestRunMatrix:
             assert a["cell_id"] == b["cell_id"]
             for name in ("rounds", "messages", "words"):
                 assert a[name] == b[name]
+
+
+class TestDefaultJobs:
+    def test_respects_scheduling_affinity(self, monkeypatch):
+        """Regression: a cgroup/taskset-limited runner must size the
+        pool by the affinity mask, not the installed CPU count."""
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 1, 2}, raising=False
+        )
+        assert default_jobs() == 3
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 5)
+        assert default_jobs() == 5
+
+    def test_never_below_one(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert default_jobs() == 1
+
+
+class TestShardedMatrix:
+    def test_cell_ids_unique_and_disjoint_from_simulator(self):
+        shard_ids = [cell.cell_id for cell in sharded_matrix()]
+        assert len(shard_ids) == len(set(shard_ids))
+        assert not set(shard_ids) & {c.cell_id for c in full_matrix()}
+
+    def test_e2_scale_is_baswana_sen_er_only(self):
+        e2 = [c for c in sharded_matrix() if c.scale == "e2"]
+        assert e2 and all(
+            (c.protocol, c.graph_kind) == ("baswana_sen", "er") for c in e2
+        )
+
+    def test_counts_match_single_process_row(self):
+        """The count-drift gate contract: a sharded cell's counts equal
+        the single-process counts for the identical workload."""
+        base = run_cell(_tiny_cell(), reps=1)
+        sharded = run_sharded_cell(
+            ShardedCell("baswana_sen", "grid", "smoke", 1, shards=2), reps=1
+        )
+        for name in ("rounds", "messages", "words", "n", "m"):
+            assert sharded[name] == base[name]
+        assert sharded["shards"] == 2
+        assert sharded["cell_id"] == "baswana_sen/grid/smoke/s1/shards2"
 
 
 def _report(cells):

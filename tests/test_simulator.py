@@ -196,6 +196,36 @@ class TestStats:
         assert m.max_message_words == 9
         assert m.cap == 6 and m.violations == 1
 
+    def test_merged_with_honors_fault_log_limit(self):
+        """Regression: the merged fault log is capped like a single
+        run's (``record_fault``), and every event not retained is
+        counted in ``fault_events_dropped`` exactly."""
+        from repro.distributed.faults import DROP, FaultEvent
+
+        a = NetworkStats(
+            fault_events=[FaultEvent(DROP, r) for r in range(3)],
+            fault_events_dropped=2,
+        )
+        b = NetworkStats(
+            fault_events=[FaultEvent(DROP, r) for r in range(3, 7)],
+            fault_events_dropped=1,
+        )
+        m = a.merged_with(b, limit=5)
+        assert len(m.fault_events) == 5
+        # Retention keeps the earliest events, in order.
+        assert [e.round for e in m.fault_events] == [0, 1, 2, 3, 4]
+        # 2 + 1 carried over, plus the 2 trimmed by this merge.
+        assert m.fault_events_dropped == 5
+        # The default limit is generous enough for small logs: nothing
+        # trimmed, drops carried through unchanged.
+        wide = a.merged_with(b)
+        assert len(wide.fault_events) == 7
+        assert wide.fault_events_dropped == 3
+
+    def test_merged_with_rejects_negative_limit(self):
+        with pytest.raises(ValueError):
+            NetworkStats().merged_with(NetworkStats(), limit=-1)
+
     def test_str_mentions_cap_when_present(self):
         s = NetworkStats(cap=4)
         assert "cap=4" in str(s)

@@ -25,9 +25,15 @@ def test_host_params_and_build_host_agree(kind, scale):
     params = host_params(kind, scale)
     graph = build_host(kind, scale, graph_seed=1001)
     if kind == "er":
-        assert set(params) == {"n", "p_permille"}
+        # e2 needs sub-permille resolution; smoke/e1 keep the original
+        # key byte-for-byte (serving artifact checksums depend on it).
+        if scale == "e2":
+            assert set(params) == {"n", "p_permillion"}
+            assert 0 < params["p_permillion"] < 1_000_000
+        else:
+            assert set(params) == {"n", "p_permille"}
+            assert 0 < params["p_permille"] < 1000
         assert graph.n == params["n"]
-        assert 0 < params["p_permille"] < 1000
     elif kind == "grid":
         assert set(params) == {"rows", "cols"}
         assert graph.n == params["rows"] * params["cols"]
@@ -84,4 +90,4 @@ def test_registry_order_is_canonical():
     # Consumers iterate these tuples to build matrices; the order is
     # part of the bench-cell naming contract.
     assert GRAPH_KINDS == ("er", "grid", "hypercube")
-    assert HOST_SCALES == ("smoke", "e1")
+    assert HOST_SCALES == ("smoke", "e1", "e2")
