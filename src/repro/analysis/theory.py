@@ -16,6 +16,11 @@ from repro.core.theory import (
     baswana_sen_size_bound,
     corollary2_betas,
     critical_edge_discard_probability,
+    deterministic_phase_count,
+    deterministic_radius_bound,
+    deterministic_size_bound,
+    deterministic_stretch_bound,
+    deterministic_threshold,
     elkin_zhang_beta,
     fib,
     fib_sampling_probabilities,
@@ -46,6 +51,11 @@ __all__ = [
     "baswana_sen_size_bound",
     "corollary2_betas",
     "critical_edge_discard_probability",
+    "deterministic_phase_count",
+    "deterministic_radius_bound",
+    "deterministic_size_bound",
+    "deterministic_stretch_bound",
+    "deterministic_threshold",
     "elkin_zhang_beta",
     "fib",
     "fib_sampling_probabilities",

@@ -1,0 +1,197 @@
+"""Sequential reference for the deterministic superclustering skeleton.
+
+Mirrors every decision of
+:func:`repro.distributed.deterministic_protocol.distributed_deterministic`
+at the cluster level: the protocol is deterministic and every tie-break
+is a minimum, so this reference reproduces the *exact* edge set and
+per-superphase telemetry — the fuzz differential oracle compares them
+for equality, not just within a size band.
+
+Structure per superphase i (threshold t_i = (D+1)^(2^i) - 1):
+
+1. cluster adjacency + minimum boundary edge per adjacent cluster pair;
+2. high = degree >= t_i; iterated distance-2 ruling set over undecided
+   high clusters (m1 = min undecided-high id over the closed
+   neighborhood, m2 = min m1 over the closed neighborhood, center iff
+   m2 = own id; centers dominate their distance-<=2 high neighbors);
+3. wave 1: every non-center cluster adjacent to a center joins its
+   minimum (center id, boundary edge) candidate;
+4. wave 2: remaining high clusters join through a wave-1 joiner, by
+   minimum (new cluster id, boundary edge) candidate;
+5. deaths: remaining low clusters keep the minimum boundary edge to
+   every adjacent cluster and deactivate.
+
+See Elkin–Matar, arXiv:1907.10895 (and Bezdrighin et al.,
+arXiv:2204.14086) for the structure this simplified variant follows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set, Tuple
+
+from repro.graphs.graph import Edge, Graph, canonical_edge
+
+__all__ = ["sequential_deterministic"]
+
+#: a join candidate ordered exactly like the distributed protocol's:
+#: (target cluster id, e0, e1) with (e0, e1) the canonical edge.
+_Candidate = Tuple[int, int, int]
+
+
+def sequential_deterministic(
+    graph: Graph, D: int = 4
+) -> Tuple[Set[Edge], Dict[str, Any]]:
+    """Run the deterministic skeleton sequentially; mirror of the protocol.
+
+    Returns ``(edges, info)`` where ``info`` matches the distributed
+    metadata fields exactly: ``superphases``, ``cluster_counts``,
+    ``ruling_iterations`` and ``superphase_tallies`` (per-superphase
+    ``(centers, wave-1 joins, wave-2 joins, deaths)``).
+    """
+    # Function-local: the layer DAG (REP011) keeps ``baselines`` off
+    # ``core`` at module level; the analytic budgets are the single
+    # source of truth for thresholds and the superphase count.
+    from repro.core.theory import (
+        deterministic_phase_count,
+        deterministic_threshold,
+    )
+
+    if D < 1:
+        raise ValueError("D must be >= 1")
+    n = graph.n
+    inf = n  # cluster ids are < n
+    active: Set[int] = set(graph.vertices())
+    cluster: Dict[int, int] = {v: v for v in graph.vertices()}
+    members: Dict[int, Set[int]] = {v: {v} for v in graph.vertices()}
+    edges: Set[Edge] = set()
+
+    max_superphases = deterministic_phase_count(n, D)
+    cluster_counts: List[int] = []
+    ruling_iterations: List[int] = []
+    tallies: List[Tuple[int, int, int, int]] = []
+    superphase = 0
+    while active:
+        if superphase >= max_superphases:
+            raise RuntimeError(
+                f"sequential deterministic exceeded its "
+                f"{max_superphases}-superphase budget (n={n}, D={D})"
+            )
+        t = deterministic_threshold(D, superphase)
+        alive = sorted(members)
+        cluster_counts.append(len(alive))
+
+        # Minimum boundary edge per ordered cluster pair.
+        adj: Dict[int, Dict[int, Edge]] = {c: {} for c in alive}
+        for u, v in sorted(graph.edges()):
+            if u not in active or v not in active:
+                continue
+            cu, cv = cluster[u], cluster[v]
+            if cu == cv:
+                continue
+            edge = canonical_edge(u, v)
+            for a, b in ((cu, cv), (cv, cu)):
+                best = adj[a].get(b)
+                if best is None or edge < best:
+                    adj[a][b] = edge
+
+        high = {c for c in alive if len(adj[c]) >= t}
+        closed = {c: [c] + sorted(adj[c]) for c in alive}
+
+        # Iterated distance-2 ruling set over undecided high clusters.
+        undecided = set(high)
+        centers: Set[int] = set()
+        iterations = 0
+        while undecided:
+            iterations += 1
+            m1 = {
+                c: min(
+                    (c2 for c2 in closed[c] if c2 in undecided),
+                    default=inf,
+                )
+                for c in alive
+            }
+            m2 = {c: min(m1[c2] for c2 in closed[c]) for c in alive}
+            new_centers = {c for c in undecided if m2[c] == c}
+            centers |= new_centers
+            undecided -= new_centers
+            d1 = {
+                c: any(c2 in centers for c2 in closed[c]) for c in alive
+            }
+            dominated1 = {c for c in undecided if d1[c]}
+            undecided -= dominated1
+            dominated2 = {
+                c
+                for c in undecided
+                if any(d1[c2] for c2 in closed[c])
+            }
+            undecided -= dominated2
+        ruling_iterations.append(iterations)
+
+        # Wave 1: clusters adjacent to a center join the minimum one.
+        join1: Dict[int, _Candidate] = {}
+        for c in alive:
+            if c in centers:
+                continue
+            cands = [
+                (c2,) + adj[c][c2] for c2 in adj[c] if c2 in centers
+            ]
+            if cands:
+                join1[c] = min(cands)
+        joined1_new: Dict[int, int] = {}  # old cluster id -> new id
+        for c in sorted(join1):
+            target, e0, e1 = join1[c]
+            edges.add((e0, e1))
+            joined1_new[c] = target
+        # Wave 2: remaining high clusters join through a wave-1 joiner.
+        join2: Dict[int, _Candidate] = {}
+        for c in alive:
+            if c in centers or c in join1 or c not in high:
+                continue
+            cands = [
+                (joined1_new[c2],) + adj[c][c2]
+                for c2 in adj[c]
+                if c2 in joined1_new
+            ]
+            if cands:
+                join2[c] = min(cands)
+        for c in sorted(join2):
+            target, e0, e1 = join2[c]
+            edges.add((e0, e1))
+        # Deaths: remaining low clusters interconnect and deactivate.
+        deaths = 0
+        for c in alive:
+            if c in centers or c in join1 or c in join2 or c in high:
+                continue
+            deaths += 1
+            for c2 in sorted(adj[c]):
+                edges.add(adj[c][c2])
+            for v in members[c]:
+                active.discard(v)
+            del members[c]
+        # Apply the merges after deaths are carved out (the distributed
+        # protocol's death table was fixed at survey time, so a dying
+        # neighbor's interconnection edges are unaffected by joins).
+        for c, target in sorted(joined1_new.items()):
+            members[target] |= members[c]
+            for v in members[c]:
+                cluster[v] = target
+            del members[c]
+        for c in sorted(join2):
+            target = join2[c][0]
+            members[target] |= members[c]
+            for v in members[c]:
+                cluster[v] = target
+            del members[c]
+
+        tallies.append((len(centers), len(join1), len(join2), deaths))
+        superphase += 1
+
+    info: Dict[str, Any] = {
+        "algorithm": "elkin-matar-deterministic-sequential",
+        "D": D,
+        "superphases": superphase,
+        "cluster_counts": cluster_counts,
+        "ruling_iterations": ruling_iterations,
+        "superphase_tallies": tallies,
+    }
+    return edges, info

@@ -331,6 +331,85 @@ def additive2_size_bound(n: int) -> float:
     return n * threshold + n + 4 * math.sqrt(n * log_n) * n
 
 
+def deterministic_threshold(D: int, i: int) -> int:
+    """The superphase-``i`` degree threshold t_i = (D+1)^(2^i) - 1.
+
+    The doubly-exponential threshold schedule of Elkin–Matar
+    (arXiv:1907.10895, superclustering phases): a cluster is *high* in
+    superphase i iff it sees >= t_i distinct adjacent clusters.
+    """
+    if D < 1:
+        raise ValueError("D must be >= 1")
+    if i < 0:
+        raise ValueError("superphase index must be >= 0")
+    return (D + 1) ** (2**i) - 1
+
+
+def deterministic_phase_count(n: int, D: int) -> int:
+    """Superphase budget L of the deterministic protocol.
+
+    Superphase i shrinks the cluster count to
+    n_{i+1} <= n_i / (t_i + 1) = n_i / (D+1)^(2^i) (each center absorbs
+    its >= t_i + 1 closed-neighborhood clusters, and center closed
+    neighborhoods are disjoint because centers of a distance-2 ruling
+    set are pairwise at cluster-distance >= 3).  Once t_i >= n every
+    cluster is low-degree and dies, so the protocol halts by the first
+    superphase i with t_i >= n — L = i + 1 superphases in total
+    (cf. the O(log log n) superclustering phases of arXiv:1907.10895).
+    """
+    if D < 1:
+        raise ValueError("D must be >= 1")
+    if n < 1:
+        return 1
+    i = 0
+    while deterministic_threshold(D, i) < n:
+        i += 1
+    return i + 1
+
+
+def deterministic_radius_bound(i: int) -> int:
+    """Cluster-radius bound r_i = (5^i - 1)/2 at superphase i.
+
+    A wave-1 joiner re-roots its radius-r tree (depth <= 2r) under a
+    center vertex, and a wave-2 joiner hangs under a wave-1 joiner, so
+    r_{i+1} <= r_i + 2 (2 r_i + 1) = 5 r_i + 2 with r_0 = 0.
+    """
+    if i < 0:
+        raise ValueError("superphase index must be >= 0")
+    return (5**i - 1) // 2
+
+
+def deterministic_size_bound(n: int, D: int) -> float:
+    """Size budget of the deterministic skeleton: n (D+1) L + n.
+
+    A cluster dying in superphase i keeps < t_i interconnection edges
+    (one minimum boundary edge per adjacent cluster), so deaths cost
+    <= n_i (t_i - 1) <= n (D+1)^(2^i) / (D+1)^(2^i - 1) = n (D+1) edges
+    per superphase; joins add one edge each, <= n overall.  Linear in n
+    for fixed D, like Lemma 6's randomized bound — the deterministic
+    construction trades its larger constant for a far tighter
+    worst-case stretch (:func:`deterministic_stretch_bound`).
+    """
+    if n < 1:
+        return 0.0
+    return float(n * (D + 1) * deterministic_phase_count(n, D) + n)
+
+
+def deterministic_stretch_bound(n: int, D: int) -> float:
+    """Worst-case stretch 2 * 5^(L-1) - 1 of the deterministic skeleton.
+
+    A host edge (u, v) is either eventually intra-cluster (tree detour
+    <= 2 r_i when the shared cluster dies) or covered when u's cluster
+    dies in superphase i by its interconnection edge to v's cluster:
+    detour <= 2 r_i + 1 + 2 r_i = 4 r_i + 1 = 2 * 5^i - 1 tree edges.
+    Deaths happen no later than superphase L - 1, giving 2 * 5^(L-1) - 1
+    — a worst-case (not with-high-probability) guarantee, unlike the
+    randomized skeleton's Theorem 2 distortion.
+    """
+    phases = deterministic_phase_count(n, D)
+    return float(4 * deterministic_radius_bound(phases - 1) + 1)
+
+
 def protocol_size_budget(protocol: str, n: int, **params: float) -> float:
     """The analytic edge-count budget the fuzzer holds ``protocol`` to.
 
@@ -354,6 +433,10 @@ def protocol_size_budget(protocol: str, n: int, **params: float) -> float:
         eps = float(params.get("eps", 0.5))
         ell = float(params.get("ell", 3 * order / eps + 2))
         return fibonacci_size_bound(n, order, ell)
+    if protocol == "deterministic":
+        # Elkin-Matar-style superclustering (arXiv:1907.10895): a
+        # worst-case n(D+1)L + n bound, not an expectation.
+        return deterministic_size_bound(n, int(params.get("D", 4)))
     raise ValueError(f"no size budget for protocol {protocol!r}")
 
 
@@ -380,6 +463,10 @@ def protocol_stretch_budget(
     if protocol == "fibonacci":
         order = int(params.get("order", 2))
         return float(2 ** (order + 1)), 0.0
+    if protocol == "deterministic":
+        # Worst-case 4 r_{L-1} + 1 detour (arXiv:1907.10895 structure;
+        # see deterministic_stretch_bound) — purely multiplicative.
+        return deterministic_stretch_bound(n, int(params.get("D", 4))), 0.0
     raise ValueError(f"no stretch budget for protocol {protocol!r}")
 
 

@@ -28,6 +28,9 @@ from repro.distributed.baswana_sen_protocol import (
     distributed_baswana_sen,
     distributed_baswana_sen_weighted,
 )
+from repro.distributed.deterministic_protocol import (
+    distributed_deterministic,
+)
 from repro.distributed.fibonacci_protocol import (
     distributed_fibonacci_spanner,
 )
@@ -53,6 +56,7 @@ __all__ = [
     "distributed_additive2",
     "distributed_baswana_sen",
     "distributed_baswana_sen_weighted",
+    "distributed_deterministic",
     "distributed_fibonacci_spanner",
     "distributed_skeleton",
     "neighborhood_survey",

@@ -41,15 +41,17 @@ __all__ = [
     "materialize",
 ]
 
-#: the five distributed protocols the fuzzer exercises (Fig. 1 order),
-#: plus the churn scenario (update streams against the incremental
-#: spanner, checked by the rebuild-equivalence battery).
+#: the six distributed protocols the fuzzer exercises (Fig. 1 order,
+#: the deterministic skeleton last), plus the churn scenario (update
+#: streams against the incremental spanner, checked by the
+#: rebuild-equivalence battery).
 FUZZ_PROTOCOLS: Tuple[str, ...] = (
     "skeleton",
     "baswana_sen",
     "additive",
     "fibonacci",
     "survey",
+    "deterministic",
     "churn",
 )
 
@@ -259,6 +261,8 @@ def _sample_params(
         return {"order": 2, "eps": 0.5}
     if protocol == "survey":
         return {"radius": int(rng.choice((1, 2, 3)))}
+    if protocol == "deterministic":
+        return {"D": int(rng.choice((2, 3, 4, 5)))}
     if protocol == "churn":
         return {"k": int(rng.choice((2, 3)))}
     raise ValueError(f"unknown protocol {protocol!r}")

@@ -32,13 +32,22 @@ pointwise, applied to arbitrary sampled cases:
 ``differential``
     Distributed vs sequential reference: exact cluster-evolution
     equality for the skeleton (shared PRF), exact level-hierarchy
-    sharing for Fibonacci (same seed), and a size band for
-    Baswana–Sen / additive (independent randomness).
+    sharing for Fibonacci (same seed), a size band for
+    Baswana–Sen / additive (independent randomness), and *exact*
+    edge-set plus telemetry equality for the deterministic skeleton
+    (no randomness anywhere).
+``rand_vs_det``
+    Deterministic cases only: run the randomized Section 2 skeleton on
+    the identical host (same ``D``, the case's protocol seed) and hold
+    both constructions to their own analytic size budgets and to host
+    connectivity — the paper's Fig. 1 comparison as an executable
+    head-to-head.
 """
 
 from __future__ import annotations
 
 import math
+import traceback
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.theory import (
@@ -66,7 +75,9 @@ __all__ = [
     "run_battery",
 ]
 
-#: battery order: cheap structural checks first, differential last.
+#: battery order: cheap structural checks first, differential and the
+#: randomized-vs-deterministic head-to-head (which runs a second
+#: protocol) last.
 ORACLE_NAMES: Tuple[str, ...] = (
     "subgraph",
     "size",
@@ -75,6 +86,7 @@ ORACLE_NAMES: Tuple[str, ...] = (
     "determinism",
     "fault_equivalence",
     "differential",
+    "rand_vs_det",
 )
 
 #: the churn scenario runs its own rebuild-equivalence battery
@@ -263,6 +275,31 @@ def oracle_differential(ex: CaseExecution) -> Optional[str]:
                 f"sequential {ref.size}, distributed {dist.size}"
             )
         return None
+    if case.protocol == "deterministic":
+        # No randomness anywhere: the sequential reference reproduces
+        # the exact edge set and per-superphase telemetry.
+        ref_edges = frozenset(ref.edges)
+        if ref_edges != dist.edges:
+            missing = sorted(ref_edges - dist.edges)[:5]
+            extra = sorted(dist.edges - ref_edges)[:5]
+            return (
+                "deterministic edge sets diverged: sequential has "
+                f"{ref.size}, distributed {dist.size} "
+                f"(missing={missing}, extra={extra})"
+            )
+        for key in (
+            "superphases",
+            "cluster_counts",
+            "ruling_iterations",
+            "superphase_tallies",
+        ):
+            if ref.metadata.get(key) != dist.metadata.get(key):
+                return (
+                    f"deterministic telemetry diverged on {key!r}: "
+                    f"sequential {ref.metadata.get(key)}, "
+                    f"distributed {dist.metadata.get(key)}"
+                )
+        return None
     # baswana_sen / additive: independent randomness — hold the
     # distributed size to a band around the sequential reference.
     band = max(16.0, 1.0 * max(ref.size, dist.size))
@@ -270,6 +307,61 @@ def oracle_differential(ex: CaseExecution) -> Optional[str]:
         return (
             f"{case.protocol} sizes implausibly far apart: "
             f"sequential {ref.size}, distributed {dist.size}"
+        )
+    return None
+
+
+def oracle_rand_vs_det(ex: CaseExecution) -> Optional[str]:
+    """Head-to-head on the same host: deterministic vs randomized.
+
+    Deterministic cases only.  Runs the randomized Section 2 skeleton
+    (:func:`~repro.distributed.skeleton_protocol.distributed_skeleton`)
+    on the identical host graph with the same sparsity parameter ``D``
+    and the case's protocol seed, then holds *both* constructions to
+    their own analytic size budgets
+    (:func:`~repro.analysis.theory.protocol_size_budget`) and to host
+    connectivity.  The randomized side keeps the Lemma 6 expected-size
+    caveat (zero sampled centers exempts the per-instance budget).
+    """
+    case = ex.case
+    if case.protocol != "deterministic":
+        return None
+    from repro.distributed.skeleton_protocol import distributed_skeleton
+
+    D = int(case.params.get("D", 4))
+    det = ex.clean()
+    assert det.edges is not None
+    # Lemma 1 needs D >= 4 on the randomized side; the deterministic
+    # protocol is meaningful from D >= 1, so clamp the comparison run.
+    rand_D = max(4, D)
+    rand = distributed_skeleton(
+        ex.graph, D=rand_D, eps=0.5, seed=case.protocol_seed
+    )
+    rand_sub = ex.graph.edge_subgraph(tuple(sorted(rand.edges)))
+    if not verify_connectivity(ex.graph, rand_sub):
+        return (
+            "randomized skeleton lost host connectivity on the shared "
+            f"host (n={ex.graph.n}, D={rand_D}, "
+            f"seed={case.protocol_seed})"
+        )
+    det_budget = protocol_size_budget("deterministic", ex.graph.n, D=D)
+    if det.size > math.ceil(det_budget):
+        return (
+            f"deterministic size {det.size} exceeds its budget "
+            f"{det_budget:.1f} on the shared host (n={ex.graph.n}, D={D})"
+        )
+    counts = rand.metadata.get("cluster_counts")
+    sampled_nothing = (
+        isinstance(counts, list) and counts and counts[0] == 0
+    )
+    rand_budget = protocol_size_budget(
+        "skeleton", ex.graph.n, D=rand_D, eps=0.5
+    )
+    if not sampled_nothing and len(rand.edges) > math.ceil(rand_budget):
+        return (
+            f"randomized size {len(rand.edges)} exceeds its budget "
+            f"{rand_budget:.1f} on the shared host (deterministic "
+            f"managed {det.size}; n={ex.graph.n}, D={rand_D})"
         )
     return None
 
@@ -282,6 +374,7 @@ _ORACLES: Dict[str, Callable[[CaseExecution], Optional[str]]] = {
     "determinism": oracle_determinism,
     "fault_equivalence": oracle_fault_equivalence,
     "differential": oracle_differential,
+    "rand_vs_det": oracle_rand_vs_det,
 }
 
 
@@ -315,8 +408,14 @@ def check_case(
             else:
                 message = _ORACLES[name](ex)
         except Exception as exc:  # noqa: BLE001 — fuzzer must not die
+            # Keep the full traceback: a shrunk reproducer whose whole
+            # failure message is "KeyError: 5" is undebuggable.
             failures.append(
-                OracleFailure("crash", f"{name}: {type(exc).__name__}: {exc}")
+                OracleFailure(
+                    "crash",
+                    f"{name}: {type(exc).__name__}: {exc}\n"
+                    f"{traceback.format_exc()}",
+                )
             )
             break
         if message is not None:
@@ -362,8 +461,12 @@ def _check_churn_case(
             grade_seed=mat.protocol_seed,
         )
     except Exception as exc:  # noqa: BLE001 — fuzzer must not die
+        # Full traceback for the same reason as check_case above.
         return [
-            OracleFailure("crash", f"{type(exc).__name__}: {exc}")
+            OracleFailure(
+                "crash",
+                f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+            )
         ]
     if failure is None:
         return []

@@ -24,10 +24,14 @@ from typing import Any, Dict, FrozenSet, Optional, Tuple
 
 from repro.baselines.additive_spanner import additive2_spanner
 from repro.baselines.baswana_sen import baswana_sen_spanner
+from repro.baselines.deterministic_skeleton import sequential_deterministic
 from repro.core.fibonacci import build_fibonacci_spanner
 from repro.core.skeleton import build_skeleton
 from repro.distributed.additive_protocol import distributed_additive2
 from repro.distributed.baswana_sen_protocol import distributed_baswana_sen
+from repro.distributed.deterministic_protocol import (
+    distributed_deterministic,
+)
 from repro.distributed.faults import FaultPlan
 from repro.distributed.fibonacci_protocol import (
     distributed_fibonacci_spanner,
@@ -45,7 +49,7 @@ __all__ = ["CaseExecution", "RunResult", "build_fault_plan"]
 
 @dataclass(frozen=True)
 class RunResult:
-    """One execution's output, normalized across the five protocols.
+    """One execution's output, normalized across the six protocols.
 
     Spanner protocols fill ``edges``; the survey protocol fills
     ``known`` (per-vertex canonical edge sets).  ``trace`` is the
@@ -121,6 +125,10 @@ def _run_distributed(
             ell=_opt_int(params, "ell"),
             **common,
         )
+    elif case.protocol == "deterministic":
+        spanner = distributed_deterministic(
+            graph, D=int(params.get("D", 4)), **common
+        )
     elif case.protocol == "survey":
         common.pop("seed")
         raw, _stats = neighborhood_survey(
@@ -152,9 +160,11 @@ def _run_reference(case: FuzzCase, graph: Graph) -> Optional[Spanner]:
     same seed, so both sides sample the identical level hierarchy.
     ``baswana_sen``/``additive`` draw their own randomness (``ensure_rng``
     vs the protocol's PRF), so their differential check compares sizes
-    within a band rather than demanding equality.  ``survey`` has no
-    sequential spanner (its reference is the exact BFS neighborhood,
-    computed directly by the coverage oracle).
+    within a band rather than demanding equality.  ``deterministic``
+    draws no randomness at all, so the differential oracle demands the
+    *exact* edge set and telemetry.  ``survey`` has no sequential
+    spanner (its reference is the exact BFS neighborhood, computed
+    directly by the coverage oracle).
     """
     params = case.params
     seed = case.protocol_seed
@@ -179,6 +189,11 @@ def _run_reference(case: FuzzCase, graph: Graph) -> Optional[Spanner]:
             ell=_opt_int(params, "ell"),
             seed=seed,
         )
+    if case.protocol == "deterministic":
+        edges, info = sequential_deterministic(
+            graph, D=int(params.get("D", 4))
+        )
+        return Spanner(graph, edges, info)
     return None
 
 

@@ -21,7 +21,7 @@ actually go and makes two runs comparable event by event:
   uniform driver used by the CLI, the tests and benchmark E21.
 
 See ``docs/observability.md`` for the event schema and the phase
-taxonomy of all five protocols.
+taxonomy of all six protocols.
 """
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry

@@ -1,6 +1,6 @@
-"""One-call traced runs of the five distributed protocols.
+"""One-call traced runs of the six distributed protocols.
 
-``run_traced("skeleton", graph, seed=1, obs=obs)`` normalizes the five
+``run_traced("skeleton", graph, seed=1, obs=obs)`` normalizes the six
 entry points (whose signatures and return shapes differ) to a single
 ``(result, NetworkStats)`` pair — the shared driver behind the
 ``python -m repro trace record`` CLI, the determinism/replay tests and
@@ -16,8 +16,15 @@ from repro.graphs.graph import Graph
 
 __all__ = ["PROTOCOLS", "run_traced"]
 
-#: the five traced protocols, in Fig. 1 order.
-PROTOCOLS = ("skeleton", "baswana_sen", "additive", "fibonacci", "survey")
+#: the six traced protocols, in Fig. 1 order (deterministic last).
+PROTOCOLS = (
+    "skeleton",
+    "baswana_sen",
+    "additive",
+    "fibonacci",
+    "survey",
+    "deterministic",
+)
 
 
 def run_traced(
@@ -69,6 +76,17 @@ def run_traced(
         spanner = distributed_fibonacci_spanner(
             graph, order=2, seed=seed, **common
         )
+        return spanner, spanner.metadata["network_stats"]
+    if protocol == "deterministic":
+        from repro.distributed.deterministic_protocol import (
+            distributed_deterministic,
+        )
+
+        D = kwargs.pop("D", 4)
+        common = dict(
+            obs=obs, reliable=reliable, fault_plan=fault_plan, **kwargs
+        )
+        spanner = distributed_deterministic(graph, D=D, seed=seed, **common)
         return spanner, spanner.metadata["network_stats"]
     if protocol == "survey":
         from repro.distributed.survey_protocol import neighborhood_survey

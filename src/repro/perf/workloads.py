@@ -43,10 +43,17 @@ __all__ = [
     "smoke_matrix",
 ]
 
-#: protocols benchmarked: the paper's two constructions plus the
-#: Baswana–Sen comparison point (the survey/additive baselines are
-#: sequential-dominated and say little about the simulator hot path).
-BENCH_PROTOCOLS: Tuple[str, ...] = ("skeleton", "fibonacci", "baswana_sen")
+#: protocols benchmarked: the paper's two constructions, the
+#: Baswana–Sen comparison point, and the deterministic skeleton (the
+#: Fig. 1 randomized-vs-deterministic head-to-head; the survey/additive
+#: baselines are sequential-dominated and say little about the
+#: simulator hot path).
+BENCH_PROTOCOLS: Tuple[str, ...] = (
+    "skeleton",
+    "fibonacci",
+    "baswana_sen",
+    "deterministic",
+)
 
 #: protocol seeds per cell; the graph seed is derived (1000 + seed) so
 #: graph randomness and protocol randomness never share a stream.

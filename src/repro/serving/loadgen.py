@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 from bisect import bisect_right
 from dataclasses import asdict, dataclass
 from time import perf_counter
@@ -102,13 +103,22 @@ class LoadgenSummary:
 
 
 def percentile(sorted_values: Sequence[float], q: float) -> float:
-    """The q-th percentile (nearest-rank) of an ascending sequence."""
+    """The q-th percentile (nearest-rank) of an ascending sequence.
+
+    Nearest-rank: the smallest value with at least ``q``% of the data
+    at or below it, i.e. element ``ceil(n * q / 100)`` (1-indexed),
+    clamped to the ends.  ``math.ceil`` with a small tolerance rather
+    than ``-(-n * q // 100)``: float division makes the negated floor
+    overshoot (``1000 * 99.9 / 100`` is ``999.0000000000001``, whose
+    ceiling must be 999, not 1000).
+    """
     if not sorted_values:
         return 0.0
     if not 0 <= q <= 100:
         raise ValueError("q must be in [0, 100]")
-    rank = max(0, -(-len(sorted_values) * q // 100) - 1)
-    return sorted_values[min(int(rank), len(sorted_values) - 1)]
+    n = len(sorted_values)
+    rank = math.ceil(n * q / 100 - 1e-9)
+    return sorted_values[min(max(rank - 1, 0), n - 1)]
 
 
 def _zipf_cumulative(count: int) -> List[float]:

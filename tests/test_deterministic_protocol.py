@@ -1,0 +1,190 @@
+"""The deterministic skeleton protocol and its analytic budgets.
+
+The protocol draws no randomness, so the contract is strict: the
+distributed run must reproduce the sequential reference *exactly*
+(edge set and per-superphase telemetry), hold the closed-form size and
+stretch budgets from :mod:`repro.core.theory`, ignore its ``seed``
+argument, and survive faults under the reliable adapter without any
+output change.
+"""
+
+import math
+
+import pytest
+
+from repro.baselines.deterministic_skeleton import sequential_deterministic
+from repro.core.theory import (
+    deterministic_phase_count,
+    deterministic_radius_bound,
+    deterministic_size_bound,
+    deterministic_stretch_bound,
+    deterministic_threshold,
+    protocol_size_budget,
+    protocol_stretch_budget,
+)
+from repro.distributed.deterministic_protocol import (
+    distributed_deterministic,
+)
+from repro.distributed.faults import FaultPlan
+from repro.graphs.generators import (
+    barbell,
+    complete,
+    cycle,
+    erdos_renyi_gnp,
+    grid_2d,
+    hypercube,
+    path,
+)
+from repro.spanner.verification import (
+    verify_connectivity,
+    verify_spanner_guarantee,
+    verify_subgraph,
+)
+
+HOSTS = [
+    ("path9", lambda: path(9)),
+    ("cycle12", lambda: cycle(12)),
+    ("grid5", lambda: grid_2d(5, 5)),
+    ("k7", lambda: complete(7)),
+    ("hypercube4", lambda: hypercube(4)),
+    ("barbell", lambda: barbell(5, 3)),
+    ("er30", lambda: erdos_renyi_gnp(30, 0.15, seed=3)),
+    ("er60", lambda: erdos_renyi_gnp(60, 0.08, seed=1)),
+]
+
+
+class TestTheory:
+    def test_threshold_doubly_exponential(self):
+        assert deterministic_threshold(4, 0) == 4
+        assert deterministic_threshold(4, 1) == 24
+        assert deterministic_threshold(4, 2) == 624
+        assert deterministic_threshold(1, 0) == 1
+        assert deterministic_threshold(1, 2) == 15
+
+    def test_threshold_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            deterministic_threshold(0, 0)
+        with pytest.raises(ValueError):
+            deterministic_threshold(4, -1)
+
+    def test_phase_count(self):
+        # L = (first i with t_i >= n) + 1.
+        assert deterministic_phase_count(1, 4) == 1
+        assert deterministic_phase_count(4, 4) == 1
+        assert deterministic_phase_count(5, 4) == 2
+        assert deterministic_phase_count(24, 4) == 2
+        assert deterministic_phase_count(25, 4) == 3
+        assert deterministic_phase_count(600, 4) == 3
+
+    def test_radius_bound_recurrence(self):
+        # r_{i+1} = 5 r_i + 2, r_0 = 0.
+        assert deterministic_radius_bound(0) == 0
+        assert deterministic_radius_bound(1) == 2
+        assert deterministic_radius_bound(2) == 12
+        assert deterministic_radius_bound(3) == 62
+
+    def test_size_and_stretch_bounds_linear_regime(self):
+        n, D = 600, 4
+        L = deterministic_phase_count(n, D)
+        assert deterministic_size_bound(n, D) == float(n * (D + 1) * L + n)
+        assert deterministic_stretch_bound(n, D) == float(
+            4 * deterministic_radius_bound(L - 1) + 1
+        )
+
+    def test_budget_dispatchers_have_deterministic_branch(self):
+        assert protocol_size_budget(
+            "deterministic", 600, D=4
+        ) == deterministic_size_bound(600, 4)
+        alpha, beta = protocol_stretch_budget("deterministic", 600, D=4)
+        assert alpha == deterministic_stretch_bound(600, 4)
+        assert beta == 0.0
+
+    def test_budget_dispatchers_reject_unknown_protocols(self):
+        with pytest.raises(ValueError, match="nosuch"):
+            protocol_size_budget("nosuch", 50)
+        with pytest.raises(ValueError, match="nosuch"):
+            protocol_stretch_budget("nosuch", 50)
+
+
+class TestDistributed:
+    @pytest.mark.parametrize("name,build", HOSTS)
+    @pytest.mark.parametrize("D", [2, 4])
+    def test_matches_sequential_reference_exactly(self, name, build, D):
+        g = build()
+        spanner = distributed_deterministic(g, D=D)
+        ref_edges, info = sequential_deterministic(g, D=D)
+        assert set(spanner.edges) == ref_edges
+        for key in (
+            "superphases",
+            "cluster_counts",
+            "ruling_iterations",
+            "superphase_tallies",
+        ):
+            assert spanner.metadata[key] == info[key], key
+
+    @pytest.mark.parametrize("name,build", HOSTS)
+    def test_budgets_and_connectivity(self, name, build):
+        g = build()
+        spanner = distributed_deterministic(g, D=4)
+        edges = tuple(sorted(spanner.edges))
+        assert verify_subgraph(g, edges)
+        sub = g.edge_subgraph(edges)
+        assert verify_connectivity(g, sub)
+        assert len(edges) <= math.ceil(deterministic_size_bound(g.n, 4))
+        alpha = deterministic_stretch_bound(g.n, 4)
+        ok, worst = verify_spanner_guarantee(g, sub, alpha, 0.0)
+        assert ok, worst
+
+    def test_seed_is_ignored(self):
+        g = erdos_renyi_gnp(40, 0.12, seed=9)
+        a = distributed_deterministic(g, D=4, seed=1)
+        b = distributed_deterministic(g, D=4, seed=999)
+        assert set(a.edges) == set(b.edges)
+        assert a.metadata["superphases"] == b.metadata["superphases"]
+
+    def test_rejects_bad_D(self):
+        g = path(4)
+        with pytest.raises(ValueError):
+            distributed_deterministic(g, D=0)
+        with pytest.raises(ValueError):
+            sequential_deterministic(g, D=0)
+
+    def test_reliable_under_faults_matches_clean(self):
+        g = erdos_renyi_gnp(36, 0.12, seed=5)
+        plan = FaultPlan(
+            seed=7,
+            drop_rate=0.1,
+            duplicate_rate=0.05,
+            delay_rate=0.05,
+            reorder_rate=0.1,
+        )
+        clean = distributed_deterministic(g, D=4)
+        faulty = distributed_deterministic(
+            g, D=4, reliable=True, fault_plan=plan
+        )
+        assert set(clean.edges) == set(faulty.edges)
+        assert not faulty.metadata["degraded"]
+
+    def test_lossy_faults_degrade_without_raising(self):
+        # Without the reliable adapter, dropped messages may starve the
+        # progress argument; the driver must degrade, not raise.
+        g = erdos_renyi_gnp(30, 0.15, seed=2)
+        plan = FaultPlan(seed=3, drop_rate=0.4)
+        spanner = distributed_deterministic(g, D=4, fault_plan=plan)
+        assert verify_subgraph(g, tuple(sorted(spanner.edges)))
+
+    def test_budgeted_rounds_cover_actual_rounds(self):
+        g = grid_2d(6, 6)
+        spanner = distributed_deterministic(g, D=4)
+        stats = spanner.metadata["network_stats"]
+        assert stats.rounds <= spanner.metadata["budgeted_rounds"]
+
+    def test_empty_and_singleton_hosts(self):
+        from repro.graphs.graph import Graph
+
+        empty = Graph(vertices=(), edges=())
+        assert set(distributed_deterministic(empty, D=4).edges) == set()
+        single = Graph(vertices=(0,), edges=())
+        assert set(distributed_deterministic(single, D=4).edges) == set()
+        ref_edges, info = sequential_deterministic(single, D=4)
+        assert ref_edges == set()

@@ -306,6 +306,48 @@ class TestOraclesCatchBrokenProtocols:
         assert failures and failures[0].oracle == "crash"
         assert "kaboom" in failures[0].message
 
+    def test_crash_finding_carries_full_traceback(self, monkeypatch):
+        # A shrunk reproducer whose whole failure message is
+        # "KeyError: 5" is undebuggable: the crash pseudo-oracle must
+        # keep the traceback, including the raising frame's location.
+        def boom(graph, **kw):
+            raise KeyError(5)
+
+        monkeypatch.setattr(fuzz_runner, "distributed_skeleton", boom)
+        case = explicit_case(
+            "skeleton", cycle_edges(8), params={"D": 4, "eps": 0.5}
+        )
+        failures = check_case(case)
+        assert failures and failures[0].oracle == "crash"
+        message = failures[0].message
+        assert "KeyError: 5" in message
+        assert "Traceback (most recent call last)" in message
+        assert "boom" in message  # the raising frame is identified
+
+    def test_churn_crash_finding_carries_full_traceback(self, monkeypatch):
+        import repro.fuzz.oracles as fuzz_oracles
+
+        def boom(*args, **kw):
+            raise KeyError(7)
+
+        monkeypatch.setattr(fuzz_oracles, "check_churn", boom)
+        case = FuzzCase(
+            case_id=0,
+            protocol="churn",
+            graph_kind="cycle",
+            n=8,
+            density=0.2,
+            graph_seed=1,
+            protocol_seed=1,
+            params={"k": 2},
+            churn={"batches": 2, "batch_size": 2, "stream_seed": 0},
+        )
+        failures = check_case(case)
+        assert failures and failures[0].oracle == "crash"
+        message = failures[0].message
+        assert "KeyError: 7" in message
+        assert "Traceback (most recent call last)" in message
+
     def test_unknown_oracle_rejected(self):
         case = explicit_case("additive", cycle_edges(6))
         with pytest.raises(ValueError):
@@ -458,4 +500,5 @@ class TestCLI:
             "determinism",
             "fault_equivalence",
             "differential",
+            "rand_vs_det",
         }

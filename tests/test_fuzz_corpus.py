@@ -31,6 +31,7 @@ def test_corpus_covers_every_protocol():
         "additive",
         "fibonacci",
         "survey",
+        "deterministic",
         "churn",
     }
 

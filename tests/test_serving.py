@@ -357,6 +357,38 @@ class TestLoadgen:
         assert percentile(values, 99) == 4.0
         assert percentile([], 50) == 0.0
 
+    def test_percentile_edges(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        # q=25 on n=4 is exactly element 1 (nearest-rank, 1-indexed).
+        assert percentile(values, 25) == 1.0
+        assert percentile(values, 25.0001) == 2.0
+
+    def test_percentile_float_q_no_overshoot(self):
+        # 1000 * 99.9 / 100 = 999.0000000000001 in floats; the nearest
+        # rank is 999 (1-indexed), i.e. the 999th value, not the 1000th.
+        values = [float(i) for i in range(1, 1001)]
+        assert percentile(values, 99.9) == 999.0
+        assert percentile(values, 99.99) == 1000.0
+        assert percentile(values, 0.1) == 1.0
+
+    def test_percentile_tiny_inputs(self):
+        assert percentile([7.0], 0) == 7.0
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 100) == 7.0
+        two = [1.0, 2.0]
+        assert percentile(two, 0) == 1.0
+        assert percentile(two, 50) == 1.0
+        assert percentile(two, 50.001) == 2.0
+        assert percentile(two, 100) == 2.0
+
+    def test_percentile_rejects_bad_q(self):
+        with pytest.raises(ValueError, match="q must be"):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError, match="q must be"):
+            percentile([1.0], 100.5)
+
     def test_benchmark_counts_replay_exactly(self, bundle):
         # The BENCH_service gate: a fresh server + the same seeded
         # stream must reproduce every cache hit.
